@@ -1,0 +1,380 @@
+// Package repro_test holds the benchmark harness: one testing.B benchmark
+// per table and figure of the paper (regenerating each result's core
+// measurement), plus micro-benchmarks of the substrates. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The full experiment protocols (with success rates and paper-value
+// side-by-sides) live in cmd/llcrepro; these benchmarks time the
+// underlying operations so regressions in the simulator or the attack
+// algorithms are visible.
+package repro_test
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/classify"
+	"repro/internal/dsp"
+	"repro/internal/ec2m"
+	"repro/internal/ecdsa"
+	"repro/internal/evset"
+	"repro/internal/hierarchy"
+	"repro/internal/lattice"
+	"repro/internal/memory"
+	"repro/internal/probe"
+	"repro/internal/psd"
+	"repro/internal/xrand"
+)
+
+func cloudCfg() hierarchy.Config { return hierarchy.Scaled(4).WithCloudNoise() }
+
+func newEnv(b *testing.B, seed uint64) (*evset.Env, *evset.Candidates) {
+	b.Helper()
+	h := hierarchy.NewHost(cloudCfg(), seed)
+	e := evset.NewEnv(h, seed^0xbe)
+	return e, evset.NewCandidates(e, evset.DefaultPoolSize(cloudCfg()), 0)
+}
+
+// --- Table 3: pruning without candidate filtering -------------------------
+
+func benchTable3(b *testing.B, algo evset.Pruner) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		e, cands := newEnv(b, uint64(i)+1)
+		res := evset.BuildSF(e, algo, cands.Addrs[0], cands.Addrs[1:], evset.DefaultOptions())
+		_ = res
+	}
+}
+
+func BenchmarkTable3_Gt(b *testing.B)   { benchTable3(b, evset.GroupTesting{EarlyTermination: true}) }
+func BenchmarkTable3_GtOp(b *testing.B) { benchTable3(b, evset.GroupTesting{}) }
+func BenchmarkTable3_Ps(b *testing.B)   { benchTable3(b, evset.PrimeScope{}) }
+
+// --- Figure 2: background access monitoring --------------------------------
+
+func BenchmarkFigure2_GapCapture(b *testing.B) {
+	e, cands := newEnv(b, 2)
+	res := evset.BuildSF(e, evset.BinSearch{}, cands.Addrs[0], cands.Addrs[1:], evset.DefaultOptions())
+	if !res.OK {
+		b.Fatal("setup failed")
+	}
+	m := probe.NewMonitor(e, probe.Parallel, res.Set.Lines)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.Probe() {
+			m.Prime()
+		}
+	}
+}
+
+// --- Figure 3: TestEviction implementations -------------------------------
+
+func BenchmarkFigure3_ParallelTestEviction(b *testing.B) {
+	e, cands := newEnv(b, 3)
+	ta := cands.Addrs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.TestEviction(evset.TargetLLC, ta, cands.Addrs[1:], len(cands.Addrs)-1, true)
+	}
+}
+
+func BenchmarkFigure3_SequentialTestEviction(b *testing.B) {
+	e, cands := newEnv(b, 4)
+	ta := cands.Addrs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.TestEviction(evset.TargetLLC, ta, cands.Addrs[1:], len(cands.Addrs)-1, false)
+	}
+}
+
+// --- Table 4: filtered construction ----------------------------------------
+
+func benchTable4Single(b *testing.B, algo evset.Pruner) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		e, cands := newEnv(b, uint64(i)+40)
+		res, _ := evset.BuildSingle(e, cands.Addrs[0], cands, evset.BulkOptions{Algo: algo, PerSet: evset.FilteredOptions()})
+		_ = res
+	}
+}
+
+func BenchmarkTable4_SingleSet_BinS(b *testing.B) { benchTable4Single(b, evset.BinSearch{}) }
+func BenchmarkTable4_SingleSet_GtOp(b *testing.B) { benchTable4Single(b, evset.GroupTesting{}) }
+
+func BenchmarkTable4_PageOffset_BinS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, cands := newEnv(b, uint64(i)+60)
+		evset.BuildPageOffset(e, cands, evset.BulkOptions{Algo: evset.BinSearch{}, PerSet: evset.FilteredOptions()})
+	}
+}
+
+// --- §5.3.1: candidate filtering -------------------------------------------
+
+func BenchmarkFilter_PartitionByL2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, cands := newEnv(b, uint64(i)+80)
+		evset.PartitionByL2(e, cands.Addrs, evset.FilteredOptions())
+	}
+}
+
+// --- §5.3.2: associativity scaling (Ice Lake) -------------------------------
+
+func BenchmarkIceLake_BinS_L2(b *testing.B) {
+	cfg := hierarchy.IceLakeSP(4).WithQuiescentNoise()
+	for i := 0; i < b.N; i++ {
+		h := hierarchy.NewHost(cfg, uint64(i)+1)
+		e := evset.NewEnv(h, uint64(i)^0x1c)
+		cands := evset.NewCandidates(e, evset.DefaultPoolSize(cfg), 0)
+		if _, err := evset.BuildL2(e, evset.BinSearch{}, cands.Addrs[0], cands.Addrs[1:], evset.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 5 / Figure 6: monitoring strategies ------------------------------
+
+func benchPrime(b *testing.B, strat probe.Strategy) {
+	b.Helper()
+	e, cands := newEnv(b, 5)
+	res := evset.BuildSF(e, evset.BinSearch{}, cands.Addrs[0], cands.Addrs[1:], evset.DefaultOptions())
+	if !res.OK {
+		b.Fatal("setup failed")
+	}
+	m := probe.NewMonitor(e, strat, res.Set.Lines).WithAlt(res.Set.Lines)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Prime()
+	}
+}
+
+func BenchmarkTable5_PrimeParallel(b *testing.B) { benchPrime(b, probe.Parallel) }
+func BenchmarkTable5_PrimePSFlush(b *testing.B)  { benchPrime(b, probe.PSFlush) }
+func BenchmarkTable5_PrimePSAlt(b *testing.B)    { benchPrime(b, probe.PSAlt) }
+
+func BenchmarkFigure6_CovertChannelParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, cands := newEnv(b, uint64(i)+90)
+		res := evset.BuildSF(e, evset.BinSearch{}, cands.Addrs[0], cands.Addrs[1:], evset.DefaultOptions())
+		if !res.OK {
+			continue
+		}
+		// Sender line: privileged congruent pick.
+		target := e.Main.SetOf(res.Set.Ta)
+		var sender memory.PAddr
+		for _, va := range cands.Addrs[1:] {
+			if e.Main.SetOf(va) == target {
+				sender = e.Main.Translate(va)
+				break
+			}
+		}
+		m := probe.NewMonitor(e, probe.Parallel, res.Set.Lines)
+		probe.RunCovertChannel(e, m, 2, sender, 10000, 100)
+	}
+}
+
+// --- Figure 7 / Table 6: PSD pipeline ---------------------------------------
+
+func BenchmarkFigure7_WelchPSD(b *testing.B) {
+	rng := xrand.New(6)
+	signal := make([]float64, 2000)
+	for i := range signal {
+		signal[i] = math.Abs(rng.Norm(0, 1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dsp.Welch(signal, 1.0/500, dsp.DefaultWelch())
+	}
+}
+
+func BenchmarkTable6_ScanOneSet(b *testing.B) {
+	s := attack.NewSession(cloudCfg(), ec2m.Sect163(), 7)
+	p := psd.DefaultParams(s.V.ExpectedAccessPeriod())
+	scanner, _, _ := s.TrainAll(p, xrand.New(8))
+	bulk := s.BuildEvictionSets(evset.BulkOptions{Algo: evset.BinSearch{}, PerSet: evset.FilteredOptions()})
+	if len(bulk.Sets) == 0 {
+		b.Fatal("no sets")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set := bulk.Sets[i%len(bulk.Sets)]
+		m := probe.NewMonitor(s.Env, probe.Parallel, set.Lines)
+		tr := s.CaptureWhileBusy(m, p.TraceCycles)
+		scanner.Classify(tr)
+	}
+}
+
+// --- Figure 9 / §7.3: extraction --------------------------------------------
+
+func BenchmarkFigure9_ExtractBits(b *testing.B) {
+	s := attack.NewSession(cloudCfg(), ec2m.Sect163(), 9)
+	p := psd.DefaultParams(s.V.ExpectedAccessPeriod())
+	_, ex, _ := s.TrainAll(p, xrand.New(10))
+	// One long captured trace, re-extracted each iteration.
+	pool := evset.NewCandidates(s.Env, 2*evset.DefaultPoolSize(s.H.Config()), s.V.TargetOffset())
+	var lines []memory.VAddr
+	for _, va := range pool.Addrs {
+		if s.Env.Main.SetOf(va) == s.V.TargetSet() {
+			lines = append(lines, va)
+			if len(lines) == s.H.Config().SFWays {
+				break
+			}
+		}
+	}
+	m := probe.NewMonitor(s.Env, probe.Parallel, lines)
+	rec := s.TriggerOneSigning()
+	tr := m.Capture(rec.End - s.H.Clock().Now() + 50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bits := ex.Extract(tr)
+		if i == 0 {
+			sc := attack.ScoreExtraction(bits, rec, ex.IterCycles)
+			b.ReportMetric(sc.Fraction()*100, "%bits")
+		}
+	}
+}
+
+func BenchmarkE2E_FullAttack(b *testing.B) {
+	train := attack.NewSession(cloudCfg(), ec2m.Sect163(), 11)
+	p := psd.DefaultParams(train.V.ExpectedAccessPeriod())
+	scanner, ex, _ := train.TrainAll(p, xrand.New(12))
+	opt := attack.DefaultE2EOptions()
+	opt.Traces = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := attack.NewSession(cloudCfg(), ec2m.Sect163(), uint64(i)+100)
+		res := s.RunEndToEnd(scanner, ex, opt)
+		if i == 0 && res.SignalFound {
+			b.ReportMetric(res.MedianFraction()*100, "%bits")
+		}
+	}
+}
+
+// --- Ablations ---------------------------------------------------------------
+
+func BenchmarkAblationReplacement_SRRIPPrime(b *testing.B) {
+	cfg := cloudCfg()
+	cfg.SFPolicy = 2 // cache.SRRIP
+	h := hierarchy.NewHost(cfg, 13)
+	e := evset.NewEnv(h, 14)
+	cands := evset.NewCandidates(e, evset.DefaultPoolSize(cfg), 0)
+	res := evset.BuildSF(e, evset.BinSearch{}, cands.Addrs[0], cands.Addrs[1:], evset.DefaultOptions())
+	if !res.OK {
+		b.Skip("construction failed under SRRIP")
+	}
+	m := probe.NewMonitor(e, probe.Parallel, res.Set.Lines)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Prime()
+	}
+}
+
+func BenchmarkAblationBacktrack_BinSUnderNoise(b *testing.B) {
+	cfg := cloudCfg().WithNoiseRate(120) // heavy noise stresses recovery
+	for i := 0; i < b.N; i++ {
+		h := hierarchy.NewHost(cfg, uint64(i)+1)
+		e := evset.NewEnv(h, uint64(i)^0xbb)
+		cands := evset.NewCandidates(e, evset.DefaultPoolSize(cfg), 0)
+		evset.BuildSF(e, evset.BinSearch{}, cands.Addrs[0], cands.Addrs[1:], evset.FilteredOptions())
+	}
+}
+
+// --- Substrate micro-benchmarks ----------------------------------------------
+
+func BenchmarkMicro_HierarchyAccess(b *testing.B) {
+	cfg := cloudCfg()
+	h := hierarchy.NewHost(cfg, 15)
+	a := h.NewAgent(0)
+	buf := a.Alloc(512)
+	addrs := make([]memory.VAddr, 512)
+	for i := range addrs {
+		addrs[i] = buf.LineAt(i, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Access(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkMicro_FFT1024(b *testing.B) {
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)), 0)
+	}
+	buf := make([]complex128, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		dsp.FFT(buf)
+	}
+}
+
+func BenchmarkMicro_GF2m571Mul(b *testing.B) {
+	c := ec2m.Sect571()
+	rng := xrand.New(16)
+	x, y := c.F.Rand(rng), c.F.Rand(rng)
+	out := c.F.NewElem()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.F.Mul(out, x, y)
+	}
+}
+
+func BenchmarkMicro_LadderSign163(b *testing.B) {
+	c := ec2m.Sect163()
+	rng := xrand.New(17)
+	key := ecdsa.GenerateKey(c, rng)
+	z := big.NewInt(123456789)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := key.Sign(z, rng, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicro_SVMPredict(b *testing.B) {
+	rng := xrand.New(18)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		v := []float64{rng.Norm(0, 1), rng.Norm(0, 1)}
+		x = append(x, v)
+		if v[0] > 0 {
+			y = append(y, 1)
+		} else {
+			y = append(y, -1)
+		}
+	}
+	svm := classify.NewSVM(classify.SVMConfig{Kernel: classify.PolyKernel(3, 1, 1)})
+	svm.Train(x, y, rng)
+	probeVec := []float64{0.3, -0.7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svm.Predict(probeVec)
+	}
+}
+
+func BenchmarkMicro_LatticeHNPToy(b *testing.B) {
+	c := ec2m.ToyCurve()
+	rng := xrand.New(19)
+	key := ecdsa.GenerateKey(c, rng)
+	var leaks []lattice.Leak
+	for i := 0; len(leaks) < 5 && i < 60; i++ {
+		z := big.NewInt(int64(7000 + i))
+		sig, nonce, err := key.Sign(z, rng, nil)
+		if err != nil || nonce.BitLen() <= 9 {
+			continue
+		}
+		top := new(big.Int).Rsh(nonce, uint(nonce.BitLen()-9))
+		leaks = append(leaks, lattice.LeakFromTopBits(sig.R, sig.S, z, top, nonce.BitLen(), 9))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := lattice.HNP(c.N, leaks, func(d *big.Int) bool { return d.Cmp(key.D) == 0 }); !ok {
+			b.Fatal("HNP failed")
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Command llcrepro regenerates the paper's tables and figures on the
+// simulated hosts. Run with -list to see the available experiment ids,
+// -exp <id> to run one, or -all to run everything. -full switches to
+// paper-scale geometry (28/22-slice Skylake-SP, sect571r1 victims) at a
+// large simulation-time cost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id to run (see -list)")
+		all    = flag.Bool("all", false, "run every experiment")
+		list   = flag.Bool("list", false, "list experiment ids")
+		full   = flag.Bool("full", false, "paper-scale geometry (slow)")
+		seed   = flag.Uint64("seed", 1, "deterministic seed")
+		trials = flag.Int("trials", 0, "override trial counts (0 = default)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, l := range experiments.List() {
+			fmt.Println(l)
+		}
+		return
+	}
+	opt := experiments.Options{Seed: *seed, Full: *full, Trials: *trials}
+	ids := []string{}
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *exp != "":
+		ids = []string{*exp}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: llcrepro -exp <id> | -all | -list")
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		r, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		rep := r(opt)
+		rep.Notes = append(rep.Notes, fmt.Sprintf("simulation wall time: %s", time.Since(start).Round(time.Millisecond)))
+		rep.Fprint(os.Stdout)
+	}
+}

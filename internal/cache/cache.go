@@ -1,0 +1,204 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// Tag identifies a cache line by its full physical line address. The zero
+// value is never a valid tag because physical frame 0 is reserved by the
+// hierarchy, but validity is tracked explicitly anyway.
+type Tag uint64
+
+// Set is one associative set: ways tagged lines plus replacement state and
+// an optional per-way payload (used by the hierarchy for coherence state).
+type Set struct {
+	tags    []Tag
+	valid   []bool
+	payload []uint8
+	pol     policyState
+}
+
+// Cache is a single-array set-associative cache (one slice of a sliced
+// structure, or a whole private cache).
+type Cache struct {
+	name  string
+	sets  []Set
+	ways  int
+	nsets int
+}
+
+// Config describes a cache array's geometry.
+type Config struct {
+	Name   string
+	Sets   int
+	Ways   int
+	Policy PolicyKind
+}
+
+// New builds a cache. rng seeds randomized replacement policies; it must
+// not be nil when Policy is RandomRepl or SRRIP.
+func New(cfg Config, rng *xrand.Rand) *Cache {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache %q: invalid geometry %d sets x %d ways", cfg.Name, cfg.Sets, cfg.Ways))
+	}
+	c := &Cache{name: cfg.Name, ways: cfg.Ways, nsets: cfg.Sets}
+	c.sets = make([]Set, cfg.Sets)
+	for i := range c.sets {
+		c.sets[i] = Set{
+			tags:    make([]Tag, cfg.Ways),
+			valid:   make([]bool, cfg.Ways),
+			payload: make([]uint8, cfg.Ways),
+			pol:     newPolicyState(cfg.Policy, cfg.Ways, rng),
+		}
+	}
+	return c
+}
+
+// Name returns the configured name ("L2", "LLC[3]", ...).
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.nsets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// set returns the set at index i, panicking on out-of-range indices.
+func (c *Cache) set(i int) *Set {
+	if i < 0 || i >= c.nsets {
+		panic(fmt.Sprintf("cache %q: set index %d out of range [0,%d)", c.name, i, c.nsets))
+	}
+	return &c.sets[i]
+}
+
+// Lookup probes set idx for tag. On a hit it updates replacement state and
+// returns the way's payload.
+func (c *Cache) Lookup(idx int, tag Tag) (payload uint8, hit bool) {
+	s := c.set(idx)
+	for w, v := range s.valid {
+		if v && s.tags[w] == tag {
+			s.pol.touch(w)
+			return s.payload[w], true
+		}
+	}
+	return 0, false
+}
+
+// Contains reports whether tag is present without touching replacement
+// state. It is for validation/instrumentation only — attack code must not
+// call it.
+func (c *Cache) Contains(idx int, tag Tag) bool {
+	s := c.set(idx)
+	for w, v := range s.valid {
+		if v && s.tags[w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Evicted describes a line displaced by an insertion.
+type Evicted struct {
+	Tag     Tag
+	Payload uint8
+	Valid   bool
+}
+
+// Insert fills tag into set idx with the given payload, evicting a line if
+// the set is full. If the tag is already present its payload is updated
+// and replacement state touched; no eviction occurs.
+func (c *Cache) Insert(idx int, tag Tag, payload uint8) Evicted {
+	s := c.set(idx)
+	// Already present: update in place.
+	for w, v := range s.valid {
+		if v && s.tags[w] == tag {
+			s.payload[w] = payload
+			s.pol.touch(w)
+			return Evicted{}
+		}
+	}
+	// Free way available.
+	for w, v := range s.valid {
+		if !v {
+			s.tags[w] = tag
+			s.valid[w] = true
+			s.payload[w] = payload
+			s.pol.insert(w)
+			return Evicted{}
+		}
+	}
+	// Evict per policy.
+	w := s.pol.victim()
+	out := Evicted{Tag: s.tags[w], Payload: s.payload[w], Valid: true}
+	s.tags[w] = tag
+	s.payload[w] = payload
+	s.pol.insert(w)
+	return out
+}
+
+// UpdatePayload changes the payload of a resident line without touching
+// replacement state. It reports whether the line was found.
+func (c *Cache) UpdatePayload(idx int, tag Tag, payload uint8) bool {
+	s := c.set(idx)
+	for w, v := range s.valid {
+		if v && s.tags[w] == tag {
+			s.payload[w] = payload
+			return true
+		}
+	}
+	return false
+}
+
+// Remove invalidates tag in set idx, reporting whether it was present.
+func (c *Cache) Remove(idx int, tag Tag) (payload uint8, removed bool) {
+	s := c.set(idx)
+	for w, v := range s.valid {
+		if v && s.tags[w] == tag {
+			s.valid[w] = false
+			return s.payload[w], true
+		}
+	}
+	return 0, false
+}
+
+// OccupiedWays returns how many ways of set idx hold valid lines.
+func (c *Cache) OccupiedWays(idx int) int {
+	s := c.set(idx)
+	n := 0
+	for _, v := range s.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// TagsIn returns the valid tags in set idx (instrumentation only).
+func (c *Cache) TagsIn(idx int) []Tag {
+	s := c.set(idx)
+	var out []Tag
+	for w, v := range s.valid {
+		if v {
+			out = append(out, s.tags[w])
+		}
+	}
+	return out
+}
+
+// FlushSet invalidates every line in set idx and resets replacement state.
+func (c *Cache) FlushSet(idx int) {
+	s := c.set(idx)
+	for w := range s.valid {
+		s.valid[w] = false
+	}
+	s.pol.reset()
+}
+
+// FlushAll invalidates the whole cache.
+func (c *Cache) FlushAll() {
+	for i := range c.sets {
+		c.FlushSet(i)
+	}
+}

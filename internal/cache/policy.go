@@ -1,0 +1,256 @@
+// Package cache implements generic set-associative cache arrays and the
+// replacement policies used by the simulated Skylake-SP / Ice Lake-SP
+// cache hierarchy.
+//
+// The attack algorithms in this repository never look inside these
+// structures — they observe only latencies — but the experiments' outcomes
+// (eviction-set success rates, Prime+Probe detection rates) emerge from
+// the way state modelled here.
+package cache
+
+import "repro/internal/xrand"
+
+// PolicyKind selects a replacement policy implementation.
+type PolicyKind int
+
+// Supported replacement policies. Intel's L1/L2 use Tree-PLRU-like
+// schemes; Skylake-SP's LLC uses an adaptive quad-age LRU (QLRU); SRRIP is
+// the published academic model closest to observed behaviour. TrueLRU and
+// RandomRepl are included for ablations: the paper argues Parallel Probing
+// works irrespective of the (possibly unknown) policy (§6.1).
+const (
+	TrueLRU PolicyKind = iota
+	TreePLRU
+	SRRIP
+	QLRU
+	RandomRepl
+)
+
+// String returns the policy's conventional name.
+func (k PolicyKind) String() string {
+	switch k {
+	case TrueLRU:
+		return "LRU"
+	case TreePLRU:
+		return "Tree-PLRU"
+	case SRRIP:
+		return "SRRIP"
+	case QLRU:
+		return "QLRU"
+	case RandomRepl:
+		return "Random"
+	default:
+		return "unknown"
+	}
+}
+
+// policyState tracks replacement metadata for one set. Implementations
+// assume ways is fixed after construction.
+type policyState interface {
+	// touch records a hit on the given way.
+	touch(way int)
+	// insert records a fill into the given way.
+	insert(way int)
+	// victim selects the way to evict when all ways are valid.
+	victim() int
+	// reset clears the state (used when a set is flushed).
+	reset()
+}
+
+// newPolicyState builds per-set state for the given kind. rng is used only
+// by randomized policies and may be shared across sets of one cache.
+func newPolicyState(kind PolicyKind, ways int, rng *xrand.Rand) policyState {
+	switch kind {
+	case TrueLRU:
+		return newLRUState(ways)
+	case TreePLRU:
+		if ways&(ways-1) == 0 {
+			return newPLRUState(ways)
+		}
+		// Tree-PLRU requires a power-of-two associativity; fall back to
+		// true LRU for odd geometries (e.g. the 11-way LLC slice).
+		return newLRUState(ways)
+	case SRRIP:
+		return newRRIPState(ways, rng)
+	case QLRU:
+		return newQLRUState(ways)
+	case RandomRepl:
+		return &randomState{ways: ways, rng: rng}
+	default:
+		panic("cache: unknown policy kind")
+	}
+}
+
+// lruState implements true LRU with a recency ordering. order[0] is MRU.
+type lruState struct {
+	order []uint8 // way indices, most-recent first
+}
+
+func newLRUState(ways int) *lruState {
+	s := &lruState{order: make([]uint8, ways)}
+	s.reset()
+	return s
+}
+
+func (s *lruState) reset() {
+	for i := range s.order {
+		s.order[i] = uint8(i)
+	}
+}
+
+func (s *lruState) moveToFront(way int) {
+	w := uint8(way)
+	pos := 0
+	for i, v := range s.order {
+		if v == w {
+			pos = i
+			break
+		}
+	}
+	copy(s.order[1:pos+1], s.order[:pos])
+	s.order[0] = w
+}
+
+func (s *lruState) touch(way int)  { s.moveToFront(way) }
+func (s *lruState) insert(way int) { s.moveToFront(way) }
+func (s *lruState) victim() int    { return int(s.order[len(s.order)-1]) }
+
+// plruState implements Tree-PLRU for power-of-two associativity. The tree
+// is stored as bits in a flat array; bit=0 means "go left for victim".
+type plruState struct {
+	bits []bool
+	ways int
+}
+
+func newPLRUState(ways int) *plruState {
+	return &plruState{bits: make([]bool, ways-1), ways: ways}
+}
+
+func (s *plruState) reset() {
+	for i := range s.bits {
+		s.bits[i] = false
+	}
+}
+
+// touch flips tree bits along the path to way so the path points away.
+func (s *plruState) touch(way int) {
+	node := 0
+	lo, hi := 0, s.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			s.bits[node] = true // point victim search right
+			node = 2*node + 1
+			hi = mid
+		} else {
+			s.bits[node] = false // point victim search left
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+}
+
+func (s *plruState) insert(way int) { s.touch(way) }
+
+func (s *plruState) victim() int {
+	node := 0
+	lo, hi := 0, s.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if !s.bits[node] {
+			node = 2*node + 1
+			hi = mid
+		} else {
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+	return lo
+}
+
+// rripState implements SRRIP with 2-bit re-reference prediction values.
+// Insertions use RRPV=2 ("long re-reference"), hits promote to 0, victims
+// are ways with RRPV=3 (aging all ways until one qualifies). Ties are
+// broken by the lowest way index, matching the common hardware choice.
+type rripState struct {
+	rrpv []uint8
+	rng  *xrand.Rand
+}
+
+func newRRIPState(ways int, rng *xrand.Rand) *rripState {
+	s := &rripState{rrpv: make([]uint8, ways), rng: rng}
+	s.reset()
+	return s
+}
+
+const rripMax = 3
+
+func (s *rripState) reset() {
+	for i := range s.rrpv {
+		s.rrpv[i] = rripMax
+	}
+}
+
+func (s *rripState) touch(way int)  { s.rrpv[way] = 0 }
+func (s *rripState) insert(way int) { s.rrpv[way] = rripMax - 1 }
+
+func (s *rripState) victim() int {
+	for {
+		for i, v := range s.rrpv {
+			if v == rripMax {
+				return i
+			}
+		}
+		for i := range s.rrpv {
+			s.rrpv[i]++
+		}
+	}
+}
+
+// qlruState approximates Intel's quad-age LRU: 2-bit ages where hits set
+// age 0, inserts set age 1, and eviction picks the oldest (highest age),
+// aging the set when no way is at the maximum. It differs from SRRIP in
+// its insertion age and in preferring the *last* maximal way, which gives
+// it a mild scan resistance similar to observed Skylake behaviour.
+type qlruState struct {
+	age []uint8
+}
+
+func newQLRUState(ways int) *qlruState {
+	s := &qlruState{age: make([]uint8, ways)}
+	s.reset()
+	return s
+}
+
+func (s *qlruState) reset() {
+	for i := range s.age {
+		s.age[i] = 3
+	}
+}
+
+func (s *qlruState) touch(way int)  { s.age[way] = 0 }
+func (s *qlruState) insert(way int) { s.age[way] = 1 }
+
+func (s *qlruState) victim() int {
+	for {
+		for i := len(s.age) - 1; i >= 0; i-- {
+			if s.age[i] == 3 {
+				return i
+			}
+		}
+		for i := range s.age {
+			s.age[i]++
+		}
+	}
+}
+
+// randomState evicts a uniformly random way.
+type randomState struct {
+	ways int
+	rng  *xrand.Rand
+}
+
+func (s *randomState) reset()      {}
+func (s *randomState) touch(int)   {}
+func (s *randomState) insert(int)  {}
+func (s *randomState) victim() int { return s.rng.Intn(s.ways) }

@@ -1,0 +1,187 @@
+package dsp
+
+import "math"
+
+// PSD is a one-sided power spectral density estimate.
+type PSD struct {
+	// Freqs[i] is the frequency of bin i in cycles per sample times the
+	// sampling rate supplied to Welch (i.e. Hz when fs is in Hz).
+	Freqs []float64
+	// Power[i] is the PSD estimate at Freqs[i].
+	Power []float64
+}
+
+// WelchOptions configures Welch's method.
+type WelchOptions struct {
+	// SegmentLength is the per-segment FFT length (nperseg). It is
+	// clamped to the signal length.
+	SegmentLength int
+	// Overlap is the number of overlapping samples between consecutive
+	// segments (noverlap); the scipy default SegmentLength/2 is used
+	// when negative.
+	Overlap int
+	// Window tapers each segment (default Hann, as in scipy and the
+	// paper's pipeline).
+	Window Window
+}
+
+// DefaultWelch returns the options matching the conventional defaults:
+// 256-sample Hann segments with 50% overlap.
+func DefaultWelch() WelchOptions {
+	return WelchOptions{SegmentLength: 256, Overlap: -1, Window: Hann}
+}
+
+// Welch estimates the PSD of the real signal x sampled at fs using
+// Welch's method [96]: the signal is split into overlapping windowed
+// segments whose periodograms are averaged, trading frequency resolution
+// for variance reduction — which is what makes the victim's periodic
+// accesses stand out through cloud noise (§6.2).
+func Welch(x []float64, fs float64, opt WelchOptions) PSD {
+	n := len(x)
+	if n == 0 {
+		return PSD{}
+	}
+	seg := opt.SegmentLength
+	if seg <= 0 {
+		seg = 256
+	}
+	if seg > n {
+		seg = n
+	}
+	ov := opt.Overlap
+	if ov < 0 {
+		ov = seg / 2
+	}
+	if ov >= seg {
+		ov = seg - 1
+	}
+	step := seg - ov
+
+	win := opt.Window.Coefficients(seg)
+	// Window power normalization (sum of squared coefficients).
+	u := 0.0
+	for _, w := range win {
+		u += w * w
+	}
+	u *= fs
+
+	nbins := seg/2 + 1
+	acc := make([]float64, nbins)
+	segments := 0
+	buf := make([]complex128, seg)
+	for start := 0; start+seg <= n; start += step {
+		// Detrend (remove the segment mean) and window.
+		mean := 0.0
+		for _, v := range x[start : start+seg] {
+			mean += v
+		}
+		mean /= float64(seg)
+		for i := 0; i < seg; i++ {
+			buf[i] = complex((x[start+i]-mean)*win[i], 0)
+		}
+		FFT(buf)
+		for k := 0; k < nbins; k++ {
+			re, im := real(buf[k]), imag(buf[k])
+			p := (re*re + im*im) / u
+			// One-sided spectrum: double the interior bins.
+			if k != 0 && !(seg%2 == 0 && k == nbins-1) {
+				p *= 2
+			}
+			acc[k] += p
+		}
+		segments++
+	}
+	if segments == 0 {
+		return PSD{}
+	}
+	psd := PSD{Freqs: make([]float64, nbins), Power: make([]float64, nbins)}
+	for k := 0; k < nbins; k++ {
+		psd.Freqs[k] = float64(k) * fs / float64(seg)
+		psd.Power[k] = acc[k] / float64(segments)
+	}
+	return psd
+}
+
+// BinAt returns the index of the bin closest to frequency f.
+func (p PSD) BinAt(f float64) int {
+	if len(p.Freqs) == 0 {
+		return 0
+	}
+	df := p.Freqs[1] - p.Freqs[0]
+	if df <= 0 {
+		return 0
+	}
+	i := int(f/df + 0.5)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(p.Freqs) {
+		i = len(p.Freqs) - 1
+	}
+	return i
+}
+
+// PeakNear returns the maximum power within ±tol of frequency f.
+func (p PSD) PeakNear(f, tol float64) float64 {
+	best := 0.0
+	for i, fr := range p.Freqs {
+		if math.Abs(fr-f) <= tol && p.Power[i] > best {
+			best = p.Power[i]
+		}
+	}
+	return best
+}
+
+// MedianPower returns the median of the PSD bins — a robust noise-floor
+// estimate for peak-to-floor ratios.
+func (p PSD) MedianPower() float64 {
+	if len(p.Power) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), p.Power...)
+	insertionSort(s)
+	return s[len(s)/2]
+}
+
+// TotalPower integrates the PSD.
+func (p PSD) TotalPower() float64 {
+	t := 0.0
+	for _, v := range p.Power {
+		t += v
+	}
+	return t
+}
+
+func insertionSort(s []float64) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}
+
+// BinTrace converts detection timestamps (in cycles) into a binned binary
+// signal sampled every binCycles over [start, end): sample i counts the
+// detections in its bin. This is how access traces become fixed-rate
+// signals for the PSD (§6.2).
+func BinTrace(times []uint64, start, end, binCycles uint64) []float64 {
+	if end <= start || binCycles == 0 {
+		return nil
+	}
+	n := int((end - start) / binCycles)
+	out := make([]float64, n)
+	for _, t := range times {
+		if t < start || t >= end {
+			continue
+		}
+		i := int((t - start) / binCycles)
+		if i < n {
+			out[i]++
+		}
+	}
+	return out
+}

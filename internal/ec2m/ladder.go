@@ -1,0 +1,107 @@
+package ec2m
+
+import (
+	"math/big"
+
+	"repro/internal/gf2m"
+)
+
+// LadderStep tells a ladder observer which half of the secret-dependent
+// branch executed in one iteration — the control-flow signal the attack
+// extracts through the instruction-fetch side channel (Figure 8a).
+type LadderStep struct {
+	// Index is the bit position being processed (high to low).
+	Index int
+	// Bit is the secret nonce bit driving the branch.
+	Bit uint
+}
+
+// LadderHook observes each iteration of the Montgomery ladder. The
+// victim package installs a hook that replays the iteration's
+// instruction fetches on the simulated cache hierarchy; a nil hook runs
+// the ladder silently.
+type LadderHook func(step LadderStep)
+
+// MAdd is the López–Dahab x-only differential addition from OpenSSL's
+// gf2m_Madd: given projective x-coordinates (x1,z1) and (x2,z2) of two
+// points whose affine difference has x-coordinate `x`, it overwrites
+// (x1,z1) with the sum's projective x-coordinate:
+//
+//	u  = x1·z2,  v = x2·z1
+//	z1' = (u+v)²
+//	x1' = x·z1' + u·v
+func (c *Curve) MAdd(x1, z1, x2, z2, x gf2m.Elem) {
+	f := c.F
+	u, v, t := f.NewElem(), f.NewElem(), f.NewElem()
+	f.Mul(u, x1, z2)
+	f.Mul(v, x2, z1)
+	f.Add(t, u, v)
+	f.Sqr(z1, t)
+	f.Mul(t, u, v)
+	f.Mul(x1, x, z1)
+	f.Add(x1, x1, t)
+}
+
+// MDouble is the x-only doubling from OpenSSL's gf2m_Mdouble: it
+// overwrites (x,z) with the double's projective x-coordinate:
+//
+//	z' = x²·z²
+//	x' = x⁴ + b·z⁴
+func (c *Curve) MDouble(x, z gf2m.Elem) {
+	f := c.F
+	x2, z2, t := f.NewElem(), f.NewElem(), f.NewElem()
+	f.Sqr(x2, x)
+	f.Sqr(z2, z)
+	f.Mul(z, x2, z2)
+	f.Sqr(x, x2)     // x⁴
+	f.Sqr(t, z2)     // z⁴
+	f.Mul(t, c.B, t) // b·z⁴
+	f.Add(x, x, t)
+}
+
+// LadderMultX computes the affine x-coordinate of k·P with the
+// Montgomery ladder exactly as the vulnerable OpenSSL 1.0.1e
+// implementation does [62]: one iteration per nonce bit below the top
+// bit, with the branch
+//
+//	if (bit) { MAdd(x1,z1,x2,z2); MDouble(x2,z2) }
+//	else     { MAdd(x2,z2,x1,z1); MDouble(x1,z1) }
+//
+// The hook fires at the start of every iteration with the bit value. The
+// boolean result is false when k·P is the point at infinity.
+func (c *Curve) LadderMultX(k *big.Int, p Point, hook LadderHook) (gf2m.Elem, bool) {
+	f := c.F
+	if k.Sign() == 0 || p.Inf {
+		return nil, false
+	}
+	x := p.X
+	// Initialization: (x1,z1) = P, (x2,z2) = 2P.
+	x1 := x.Clone()
+	z1 := f.One()
+	x2, z2 := f.NewElem(), f.NewElem()
+	f.Sqr(z2, x)       // z2 = x²
+	f.Sqr(x2, z2)      // x2 = x⁴
+	f.Add(x2, x2, c.B) // x2 = x⁴ + b
+	top := k.BitLen() - 1
+	for i := top - 1; i >= 0; i-- {
+		bit := k.Bit(i)
+		if hook != nil {
+			hook(LadderStep{Index: i, Bit: bit})
+		}
+		if bit == 1 {
+			c.MAdd(x1, z1, x2, z2, x)
+			c.MDouble(x2, z2)
+		} else {
+			c.MAdd(x2, z2, x1, z1, x)
+			c.MDouble(x1, z1)
+		}
+	}
+	if z1.Zero() {
+		return nil, false
+	}
+	inv := f.NewElem()
+	f.Inv(inv, z1)
+	out := f.NewElem()
+	f.Mul(out, x1, inv)
+	return out, true
+}

@@ -1,0 +1,106 @@
+package ecdsa
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ec2m"
+	"repro/internal/xrand"
+)
+
+func TestSignVerifyRoundTripToy(t *testing.T) {
+	c := ec2m.ToyCurve()
+	rng := xrand.New(1)
+	key := GenerateKey(c, rng)
+	for i := 0; i < 10; i++ {
+		z := big.NewInt(int64(1000 + i))
+		sig, nonce, err := key.Sign(z, rng, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Verify(key, z, sig) {
+			t.Fatalf("signature %d did not verify (nonce %v)", i, nonce)
+		}
+		// A corrupted digest must fail.
+		if Verify(key, new(big.Int).Add(z, big.NewInt(1)), sig) {
+			t.Fatal("verification accepted a wrong digest")
+		}
+		// A corrupted signature must fail.
+		bad := Signature{R: sig.R, S: new(big.Int).Add(sig.S, big.NewInt(1))}
+		if Verify(key, z, bad) {
+			t.Fatal("verification accepted a corrupted signature")
+		}
+	}
+}
+
+func TestSignatureDeterministicPerNonce(t *testing.T) {
+	c := ec2m.Sect163()
+	rng := xrand.New(2)
+	key := GenerateKey(c, rng)
+	z := big.NewInt(12345)
+	nonce := RandScalar(c.N, rng)
+	s1, err1 := key.SignWithNonce(z, nonce, nil)
+	s2, err2 := key.SignWithNonce(z, nonce, nil)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if s1.R.Cmp(s2.R) != 0 || s1.S.Cmp(s2.S) != 0 {
+		t.Fatal("same nonce must give the same signature")
+	}
+}
+
+func TestHookObservesExactNonceBits(t *testing.T) {
+	c := ec2m.Sect163()
+	rng := xrand.New(3)
+	key := GenerateKey(c, rng)
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		nonce := RandScalar(c.N, r)
+		var seen []uint
+		_, err := key.SignWithNonce(big.NewInt(99), nonce, func(s ec2m.LadderStep) {
+			seen = append(seen, s.Bit)
+		})
+		if err != nil {
+			return true // unusable nonce: redraw in real flows
+		}
+		want := NonceBits(nonce)
+		if len(seen) != len(want) {
+			return false
+		}
+		for i := range want {
+			if seen[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonceBitsLayout(t *testing.T) {
+	n := big.NewInt(0b110101)
+	bits := NonceBits(n)
+	want := []uint{1, 0, 1, 0, 1}
+	if len(bits) != len(want) {
+		t.Fatalf("len = %d, want %d", len(bits), len(want))
+	}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("bit %d = %d, want %d", i, bits[i], want[i])
+		}
+	}
+}
+
+func TestRandScalarInRange(t *testing.T) {
+	n := big.NewInt(1000)
+	rng := xrand.New(4)
+	for i := 0; i < 200; i++ {
+		k := RandScalar(n, rng)
+		if k.Sign() <= 0 || k.Cmp(n) >= 0 {
+			t.Fatalf("scalar %v out of [1, n)", k)
+		}
+	}
+}

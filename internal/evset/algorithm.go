@@ -1,0 +1,182 @@
+package evset
+
+import (
+	"repro/internal/clock"
+	"repro/internal/memory"
+)
+
+// Options bound one eviction-set construction, mirroring the paper's
+// experimental protocol (§4.2): at most MaxAttempts tries, at most
+// MaxBacktracks recoveries per attempt, and a wall-clock (virtual) limit.
+type Options struct {
+	MaxAttempts   int
+	MaxBacktracks int
+	TimeLimit     clock.Cycles
+}
+
+// DefaultOptions returns the protocol of Table 3: 10 attempts, 20
+// backtracks per attempt, 1000 ms limit.
+func DefaultOptions() Options {
+	return Options{MaxAttempts: 10, MaxBacktracks: 20, TimeLimit: clock.FromMillis(1000)}
+}
+
+// FilteredOptions returns the protocol of Table 4 (§5.3): with candidate
+// filtering the per-set limit drops to 100 ms.
+func FilteredOptions() Options {
+	return Options{MaxAttempts: 10, MaxBacktracks: 20, TimeLimit: clock.FromMillis(100)}
+}
+
+// Pruner reduces a candidate list to a minimal eviction set of `ways`
+// addresses congruent with Ta in the target structure. Implementations
+// may reorder cands. budget tracks backtracks and deadline.
+type Pruner interface {
+	Name() string
+	// Parallel reports whether the algorithm uses parallel TestEviction.
+	Parallel() bool
+	Prune(e *Env, target Target, ta memory.VAddr, cands []memory.VAddr, ways int, b *Budget) ([]memory.VAddr, error)
+}
+
+// Budget tracks an attempt's backtrack allowance and time limit.
+type Budget struct {
+	Deadline      clock.Cycles
+	MaxBacktracks int
+	Backtracks    int
+}
+
+// Expired reports whether the attempt exceeded its limits.
+func (b *Budget) Expired(e *Env) bool {
+	return (b.Deadline > 0 && e.Now() > b.Deadline) ||
+		(b.MaxBacktracks > 0 && b.Backtracks > b.MaxBacktracks)
+}
+
+// Result reports the outcome of constructing one SF eviction set.
+type Result struct {
+	Set        *EvictionSet
+	OK         bool
+	Duration   clock.Cycles
+	Attempts   int
+	Backtracks int
+}
+
+// BuildSF constructs one SF eviction set for Ta following the paper's
+// two-stage recipe (§4.2): prune the candidates into a minimal LLC
+// eviction set (LLCWays congruent addresses), then extend it with
+// SFWays−LLCWays additional congruent addresses found by SF testing. The
+// construction is retried up to opts.MaxAttempts times; the attack-level
+// self-test (not privileged ground truth) decides whether an attempt
+// succeeded.
+func BuildSF(e *Env, p Pruner, ta memory.VAddr, cands []memory.VAddr, opts Options) Result {
+	cfg := e.Host().Config()
+	start := e.Now()
+	res := Result{}
+	for attempt := 0; attempt < max(1, opts.MaxAttempts); attempt++ {
+		res.Attempts = attempt + 1
+		b := &Budget{MaxBacktracks: opts.MaxBacktracks}
+		if opts.TimeLimit > 0 {
+			b.Deadline = start + opts.TimeLimit
+		}
+		work := append([]memory.VAddr(nil), cands...)
+		lines, err := p.Prune(e, TargetLLC, ta, work, cfg.LLCWays, b)
+		res.Backtracks += b.Backtracks
+		if err == nil {
+			full, eerr := extendToSF(e, ta, lines, work, cfg.SFWays, b)
+			if eerr == nil {
+				set := &EvictionSet{Ta: ta, Lines: full}
+				if set.SelfTest(e, TargetSF, 3) {
+					res.Set = set
+					res.OK = true
+					res.Duration = e.Now() - start
+					return res
+				}
+			}
+		}
+		if opts.TimeLimit > 0 && e.Now() > start+opts.TimeLimit {
+			break
+		}
+	}
+	res.Duration = e.Now() - start
+	return res
+}
+
+// extendToSF finds `ways - len(lines)` additional congruent addresses so
+// the LLC eviction set also covers the (wider) SF set (paper §3).
+//
+// LLC and SF congruence coincide (same set count, slice count and slice
+// hash, §2.3), so each remaining candidate is screened with a minimal
+// LLC test: swap one known-congruent line for the candidate and check
+// whether the substituted set still evicts Ta from the LLC. A positive
+// means the candidate is congruent. This works for any SF/LLC width gap
+// — one extra way on Skylake-SP (12-way SF over an 11-way LLC slice),
+// four on Ice Lake-SP (16 over 12) — and, unlike an SF-based probe,
+// stays valid for same-L2-set candidates, which all filtered candidates
+// are.
+func extendToSF(e *Env, ta memory.VAddr, lines []memory.VAddr, cands []memory.VAddr, ways int, b *Budget) ([]memory.VAddr, error) {
+	out := append([]memory.VAddr(nil), lines...)
+	if len(out) >= ways {
+		return out[:ways], nil
+	}
+	inSet := make(map[memory.VAddr]bool, len(out))
+	for _, va := range out {
+		inSet[va] = true
+	}
+	base := lines[:len(lines)-1] // len(lines) == LLCWays; leave one slot
+	probe := make([]memory.VAddr, 0, len(lines))
+	for _, cand := range cands {
+		if len(out) >= ways {
+			return out, nil
+		}
+		if inSet[cand] || cand == ta {
+			continue
+		}
+		if b.Expired(e) {
+			return nil, ErrExhausted
+		}
+		probe = probe[:0]
+		probe = append(probe, base...)
+		probe = append(probe, cand)
+		if e.TestEviction(TargetLLC, ta, probe, len(probe), true) {
+			// Confirm: guard against a background access having evicted
+			// Ta during the test (false positive).
+			if e.TestEviction(TargetLLC, ta, probe, len(probe), true) {
+				out = append(out, cand)
+				inSet[cand] = true
+			}
+		}
+	}
+	if len(out) >= ways {
+		return out, nil
+	}
+	return nil, ErrExhausted
+}
+
+// BuildL2 constructs a minimal L2 eviction set for Ta from same-offset
+// candidates, used by the candidate filtering step (§5.1).
+func BuildL2(e *Env, p Pruner, ta memory.VAddr, cands []memory.VAddr, opts Options) ([]memory.VAddr, error) {
+	cfg := e.Host().Config()
+	start := e.Now()
+	for attempt := 0; attempt < max(1, opts.MaxAttempts); attempt++ {
+		b := &Budget{MaxBacktracks: opts.MaxBacktracks}
+		if opts.TimeLimit > 0 {
+			b.Deadline = start + opts.TimeLimit
+		}
+		work := append([]memory.VAddr(nil), cands...)
+		lines, err := p.Prune(e, TargetL2, ta, work, cfg.L2Ways, b)
+		if err == nil {
+			set := &EvictionSet{Ta: ta, Lines: lines}
+			if set.SelfTest(e, TargetL2, 3) {
+				return lines, nil
+			}
+		}
+		if opts.TimeLimit > 0 && e.Now() > start+opts.TimeLimit {
+			break
+		}
+	}
+	return nil, ErrExhausted
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,93 @@
+package evset
+
+import "repro/internal/memory"
+
+// BinSearch is the paper's contribution for address pruning (§5.2,
+// Figures 4–5): binary search for the "tipping point" τ — the smallest
+// prefix length n such that the first n candidates evict Ta. The τ-th
+// address is congruent; it is swapped toward the front and excluded from
+// further searches, and the process repeats until `ways` congruent
+// addresses occupy the list's prefix, forming a minimal eviction set.
+//
+// Each tipping point costs O(log N) parallel TestEviction calls of O(N)
+// accesses each, so the full run is O(W·N·log N) accesses, versus group
+// testing's O(W²·N) — the advantage grows with associativity (§5.3.2).
+type BinSearch struct{}
+
+// Name returns "BinS".
+func (BinSearch) Name() string { return "BinS" }
+
+// Parallel reports that BinS uses parallel TestEviction.
+func (BinSearch) Parallel() bool { return true }
+
+// Prune implements the algorithm of Figure 4 plus the backtracking
+// mechanism of §5.2: a false-positive TestEviction can drive UB below the
+// true tipping point; the error is detected when the converged prefix no
+// longer evicts Ta, and recovery grows UB by a large stride until the
+// prefix evicts Ta again, then restarts the iteration's search.
+func (BinSearch) Prune(e *Env, target Target, ta memory.VAddr, cands []memory.VAddr, ways int, b *Budget) ([]memory.VAddr, error) {
+	addrs := cands // reordered in place; caller passed a working copy
+	n := len(addrs)
+	if n < ways {
+		return nil, ErrExhausted
+	}
+	// The pool must evict Ta at all, otherwise no tipping point exists.
+	if !e.TestEviction(target, ta, addrs, n, true) {
+		return nil, ErrExhausted
+	}
+	stride := n / 8
+	if stride < ways {
+		stride = ways
+	}
+
+	ub := n
+	for i := 1; i <= ways; i++ {
+		lb := i - 1
+		for ub-lb != 1 {
+			if b.Expired(e) {
+				return nil, ErrExhausted
+			}
+			mid := (lb + ub) / 2
+			if e.TestEviction(target, ta, addrs, mid, true) {
+				ub = mid
+			} else {
+				lb = mid
+			}
+		}
+		// Erroneous-state detection: the first UB addresses must evict Ta.
+		if !e.TestEviction(target, ta, addrs, ub, true) {
+			b.Backtracks++
+			if b.Expired(e) {
+				return nil, ErrExhausted
+			}
+			recovered := false
+			for grow := ub + stride; ; grow += stride {
+				if grow > n {
+					grow = n
+				}
+				if e.TestEviction(target, ta, addrs, grow, true) {
+					ub = grow
+					recovered = true
+					break
+				}
+				if grow == n {
+					break
+				}
+				if b.Expired(e) {
+					return nil, ErrExhausted
+				}
+			}
+			if !recovered {
+				return nil, ErrExhausted
+			}
+			i-- // redo this iteration with the restored upper bound
+			continue
+		}
+		tau := ub // 1-indexed position of the i-th congruent address
+		addrs[i-1], addrs[tau-1] = addrs[tau-1], addrs[i-1]
+		// UB is not reset: after the swap the first UB addresses still
+		// contain `ways` congruent addresses (Figure 4, line 6 comment).
+	}
+	out := append([]memory.VAddr(nil), addrs[:ways]...)
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package evset
+
+import (
+	"testing"
+
+	"repro/internal/memory"
+)
+
+func TestDebugTestEvictionConsistency(t *testing.T) {
+	e := newQuietEnv(t, 2)
+	cfg := e.Host().Config()
+	cands := NewCandidates(e, DefaultPoolSize(cfg), 0)
+	ta := cands.Addrs[0]
+	pool := cands.Addrs[1:]
+	target := e.Main.SetOf(ta)
+	var congruent, other []memory.VAddr
+	for _, va := range pool {
+		if e.Main.SetOf(va) == target {
+			congruent = append(congruent, va)
+		} else {
+			other = append(other, va)
+		}
+	}
+	W := cfg.LLCWays
+	t.Logf("congruent=%d W=%d", len(congruent), W)
+
+	// Exactly W congruent at the end of a big prefix: tipping-point shape.
+	prefix := append(append([]memory.VAddr(nil), other[:300]...), congruent[:W]...)
+	for trial := 0; trial < 10; trial++ {
+		if !e.TestEviction(TargetLLC, ta, prefix, len(prefix), true) {
+			t.Errorf("trial %d: W congruent in prefix should evict (LLC)", trial)
+		}
+	}
+	// W-1 congruent: must never evict.
+	prefix2 := append(append([]memory.VAddr(nil), other[:300]...), congruent[:W-1]...)
+	for trial := 0; trial < 10; trial++ {
+		if e.TestEviction(TargetLLC, ta, prefix2, len(prefix2), true) {
+			t.Errorf("trial %d: W-1 congruent must not evict (LLC)", trial)
+		}
+	}
+	// SF flush-based test with SFWays congruent.
+	sfSet := congruent[:cfg.SFWays]
+	for trial := 0; trial < 10; trial++ {
+		if !e.TestEviction(TargetSF, ta, sfSet, len(sfSet), true) {
+			t.Errorf("trial %d: SFWays congruent should evict (SF)", trial)
+		}
+	}
+	sfSmall := congruent[:cfg.SFWays-1]
+	for trial := 0; trial < 10; trial++ {
+		if e.TestEviction(TargetSF, ta, sfSmall, len(sfSmall), true) {
+			t.Errorf("trial %d: SFWays-1 congruent must not evict (SF)", trial)
+		}
+	}
+}
+
+func TestDebugL2Eviction(t *testing.T) {
+	e := newQuietEnv(t, 9)
+	cfg := e.Host().Config()
+	cands := NewCandidates(e, DefaultPoolSize(cfg), 0)
+	ta := cands.Addrs[0]
+	pool := cands.Addrs[1:]
+
+	// Privileged: find L2-congruent lines with ta.
+	paTA := e.Main.Translate(ta)
+	l2idx := func(pa memory.PAddr) uint64 { return (uint64(pa) >> 6) % uint64(cfg.L2Sets) }
+	var cong []memory.VAddr
+	for _, va := range pool {
+		if l2idx(e.Main.Translate(va)) == l2idx(paTA) {
+			cong = append(cong, va)
+		}
+	}
+	t.Logf("l2-congruent=%d L2Ways=%d", len(cong), cfg.L2Ways)
+	if len(cong) < cfg.L2Ways {
+		t.Skip("not enough")
+	}
+	for trial := 0; trial < 10; trial++ {
+		if !e.TestEviction(TargetL2, ta, cong, cfg.L2Ways, true) {
+			t.Errorf("trial %d: L2Ways congruent should evict from L2", trial)
+		}
+		if e.TestEviction(TargetL2, ta, cong, cfg.L2Ways-1, true) {
+			t.Errorf("trial %d: L2Ways-1 congruent must not evict from L2", trial)
+		}
+	}
+}

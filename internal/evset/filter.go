@@ -1,0 +1,123 @@
+package evset
+
+import (
+	"repro/internal/clock"
+	"repro/internal/memory"
+)
+
+// FilterByL2 implements L2-driven candidate address filtering (§5.1).
+//
+// The L2 set-index bits are a subset of the LLC/SF set-index bits on
+// Intel server parts (Figure 1), so two addresses that conflict in the
+// LLC/SF necessarily conflict in the L2. Given an L2 eviction set for a
+// reference address, each candidate is kept only if the L2 eviction set
+// evicts it — i.e. the candidate is L2-congruent with the reference and
+// therefore a possible LLC/SF conflict. On Skylake-SP this shrinks the
+// candidate pool by U_L2 = 16x before the (much more expensive) LLC/SF
+// pruning runs.
+func FilterByL2(e *Env, l2set []memory.VAddr, cands []memory.VAddr) []memory.VAddr {
+	inSet := make(map[memory.VAddr]bool, len(l2set))
+	for _, x := range l2set {
+		inSet[x] = true
+	}
+	out := make([]memory.VAddr, 0, len(cands)/8)
+	for _, a := range cands {
+		// Members of the L2 eviction set are L2-congruent by
+		// construction; testing them against their own set would always
+		// come back negative (a set cannot evict its own member).
+		if inSet[a] || e.l2Evicts(l2set, a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// l2Evicts reports whether traversing the L2 eviction set displaces `a`
+// from the attacker's L2. It is the TestEviction L2 primitive with the
+// candidate as the timed target, so the same L1-bypassing pattern applies
+// (an L1-hot eviction-set line would otherwise skip the L2 entirely).
+func (e *Env) l2Evicts(l2set []memory.VAddr, a memory.VAddr) bool {
+	return e.testEvictionL2(a, l2set, true)
+}
+
+// L2Group is a filtered candidate group: the subset of a pool that is
+// L2-congruent with one reference address, plus the L2 eviction set that
+// defines it. One group feeds the construction of all LLC/SF sets whose
+// index bits extend this L2 set's (2 x nslices sets on Skylake-SP).
+type L2Group struct {
+	Ref     memory.VAddr
+	L2Set   []memory.VAddr
+	Members []memory.VAddr
+}
+
+// Shift derives the group at a different page offset using the δ-shift
+// property (§5.3.1): if A and B are L2-congruent, so are A+δ and B+δ for
+// any in-page δ, so the WholeSys scenario needs only U_L2 filtering
+// executions instead of one per L2 set in the system.
+func (g *L2Group) Shift(delta int64) *L2Group {
+	out := &L2Group{Ref: shiftVA(g.Ref, delta)}
+	out.L2Set = shiftAll(g.L2Set, delta)
+	out.Members = shiftAll(g.Members, delta)
+	return out
+}
+
+func shiftVA(va memory.VAddr, delta int64) memory.VAddr {
+	return memory.VAddr(int64(va) + delta)
+}
+
+func shiftAll(vas []memory.VAddr, delta int64) []memory.VAddr {
+	out := make([]memory.VAddr, len(vas))
+	for i, va := range vas {
+		out[i] = shiftVA(va, delta)
+	}
+	return out
+}
+
+// FilterStats reports the cost of partitioning a pool into L2 groups.
+type FilterStats struct {
+	Groups     int
+	Duration   clock.Cycles
+	L2Failures int
+}
+
+// PartitionByL2 splits a same-offset candidate pool into U_L2 groups of
+// mutually L2-congruent addresses by repeatedly building an L2 eviction
+// set for the first unclassified candidate and filtering the remainder
+// with it (§5.3.1). Candidates whose group could not be established (L2
+// eviction set construction failed) are dropped.
+func PartitionByL2(e *Env, pool []memory.VAddr, opts Options) ([]*L2Group, FilterStats) {
+	start := e.Now()
+	var groups []*L2Group
+	var st FilterStats
+	remaining := append([]memory.VAddr(nil), pool...)
+	uL2 := e.Host().Config().L2Uncertainty()
+	for len(groups) < uL2 && len(remaining) > 0 {
+		ref := remaining[0]
+		remaining = remaining[1:]
+		l2set, err := BuildL2(e, BinSearch{}, ref, remaining, opts)
+		if err != nil {
+			st.L2Failures++
+			if st.L2Failures > uL2 {
+				break
+			}
+			continue
+		}
+		members := FilterByL2(e, l2set, remaining)
+		groups = append(groups, &L2Group{Ref: ref, L2Set: l2set, Members: members})
+		// Remove classified members from the remaining pool.
+		inGroup := make(map[memory.VAddr]bool, len(members))
+		for _, m := range members {
+			inGroup[m] = true
+		}
+		next := remaining[:0]
+		for _, a := range remaining {
+			if !inGroup[a] {
+				next = append(next, a)
+			}
+		}
+		remaining = next
+	}
+	st.Groups = len(groups)
+	st.Duration = e.Now() - start
+	return groups, st
+}

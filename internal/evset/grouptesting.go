@@ -1,0 +1,119 @@
+package evset
+
+import "repro/internal/memory"
+
+// GroupTesting implements the group-testing reduction of Vila et al.
+// (paper §2.2.1, Algorithm 1) with the backtracking mechanism of [90].
+//
+// The candidate list is split into G = ways+1 groups; a group is
+// discarded when the remaining addresses still evict Ta. The baseline
+// (Gt) re-splits as soon as one group is removed ("early termination");
+// the optimized variant (GtOp, Appendix A) keeps scanning the remaining
+// groups of the current split before re-splitting, which the paper found
+// faster and more reliable on Skylake-SP because larger groups are pruned
+// per pass.
+type GroupTesting struct {
+	// EarlyTermination selects the baseline Gt behaviour; false is GtOp.
+	EarlyTermination bool
+}
+
+// Name returns "Gt" or "GtOp".
+func (g GroupTesting) Name() string {
+	if g.EarlyTermination {
+		return "Gt"
+	}
+	return "GtOp"
+}
+
+// Parallel reports that group testing uses parallel TestEviction (§4.1).
+func (g GroupTesting) Parallel() bool { return true }
+
+// Prune reduces cands to a minimal eviction set of `ways` addresses.
+func (g GroupTesting) Prune(e *Env, target Target, ta memory.VAddr, cands []memory.VAddr, ways int, b *Budget) ([]memory.VAddr, error) {
+	list := cands
+	// Backtrack stack: groups that were discarded, most recent last.
+	var removed [][]memory.VAddr
+
+	for len(list) > ways {
+		if b.Expired(e) {
+			return nil, ErrExhausted
+		}
+		groups := split(list, ways+1)
+		progress := false
+		for gi := 0; gi < len(groups) && len(list) > ways; gi++ {
+			if b.Expired(e) {
+				return nil, ErrExhausted
+			}
+			rest := without(list, groups, gi)
+			if e.TestEviction(target, ta, rest, len(rest), true) {
+				removed = append(removed, groups[gi])
+				list = rest
+				progress = true
+				if g.EarlyTermination {
+					break
+				}
+				// GtOp: continue with the reduced list; the remaining
+				// groups still partition it, and the group that shifted
+				// into position gi must be examined next.
+				groups = splitKeepTail(groups, gi)
+				gi--
+			}
+		}
+		if !progress {
+			// Either the list no longer evicts Ta (an earlier removal was
+			// a false positive caused by noise) or no group is removable.
+			if len(removed) == 0 {
+				return nil, ErrExhausted
+			}
+			// Backtrack: restore the most recently discarded group.
+			last := removed[len(removed)-1]
+			removed = removed[:len(removed)-1]
+			list = append(list, last...)
+			b.Backtracks++
+		}
+	}
+	if len(list) < ways {
+		return nil, ErrExhausted
+	}
+	// Final check: the reduced list must still evict Ta.
+	if !e.TestEviction(target, ta, list, len(list), true) {
+		return nil, ErrExhausted
+	}
+	return append([]memory.VAddr(nil), list...), nil
+}
+
+// split partitions list into g groups of nearly equal size.
+func split(list []memory.VAddr, g int) [][]memory.VAddr {
+	if g > len(list) {
+		g = len(list)
+	}
+	groups := make([][]memory.VAddr, 0, g)
+	n := len(list)
+	for i := 0; i < g; i++ {
+		lo := i * n / g
+		hi := (i + 1) * n / g
+		groups = append(groups, list[lo:hi])
+	}
+	return groups
+}
+
+// without returns list minus groups[gi] (fresh slice).
+func without(list []memory.VAddr, groups [][]memory.VAddr, gi int) []memory.VAddr {
+	out := make([]memory.VAddr, 0, len(list)-len(groups[gi]))
+	for j, grp := range groups {
+		if j == gi {
+			continue
+		}
+		out = append(out, grp...)
+	}
+	return out
+}
+
+// splitKeepTail drops groups[gi] from the slice of groups so the GtOp
+// scan continues over the remaining groups.
+func splitKeepTail(groups [][]memory.VAddr, gi int) [][]memory.VAddr {
+	out := make([][]memory.VAddr, 0, len(groups)-1)
+	out = append(out, groups[:gi]...)
+	out = append(out, groups[gi+1:]...)
+	return out
+}

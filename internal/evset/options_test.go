@@ -1,0 +1,114 @@
+package evset
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/memory"
+)
+
+func TestBudgetExpiry(t *testing.T) {
+	e := newQuietEnv(t, 50)
+	b := &Budget{MaxBacktracks: 2}
+	if b.Expired(e) {
+		t.Fatal("fresh budget expired")
+	}
+	b.Backtracks = 3
+	if !b.Expired(e) {
+		t.Fatal("backtrack overrun not detected")
+	}
+	b = &Budget{Deadline: e.Now() + 100}
+	e.Main.Idle(200)
+	if !b.Expired(e) {
+		t.Fatal("deadline overrun not detected")
+	}
+}
+
+func TestDefaultOptionsMatchPaperProtocol(t *testing.T) {
+	d := DefaultOptions()
+	if d.MaxAttempts != 10 || d.MaxBacktracks != 20 {
+		t.Fatalf("Table 3 protocol: %+v", d)
+	}
+	if d.TimeLimit != clock.FromMillis(1000) {
+		t.Fatalf("Table 3 time limit: %v", d.TimeLimit)
+	}
+	f := FilteredOptions()
+	if f.TimeLimit != clock.FromMillis(100) {
+		t.Fatalf("Table 4 time limit: %v", f.TimeLimit)
+	}
+}
+
+func TestBuildSFTimeLimitHonored(t *testing.T) {
+	// An absurdly small time limit must fail fast instead of hanging.
+	e := newQuietEnv(t, 51)
+	cfg := e.Host().Config()
+	cands := NewCandidates(e, DefaultPoolSize(cfg), 0)
+	opts := Options{MaxAttempts: 10, MaxBacktracks: 20, TimeLimit: 10}
+	res := BuildSF(e, BinSearch{}, cands.Addrs[0], cands.Addrs[1:], opts)
+	if res.OK {
+		t.Fatal("construction cannot succeed within 10 cycles")
+	}
+	if res.Attempts > 2 {
+		t.Fatalf("time limit not honored: %d attempts", res.Attempts)
+	}
+}
+
+func TestPrunerNames(t *testing.T) {
+	cases := map[string]Pruner{
+		"Gt":   GroupTesting{EarlyTermination: true},
+		"GtOp": GroupTesting{},
+		"Ps":   PrimeScope{},
+		"PsOp": PrimeScope{Recharge: true},
+		"BinS": BinSearch{},
+	}
+	for want, p := range cases {
+		if p.Name() != want {
+			t.Errorf("%T.Name() = %q, want %q", p, p.Name(), want)
+		}
+	}
+	if (PrimeScope{}).Parallel() {
+		t.Error("Prime+Scope must report sequential TestEviction")
+	}
+	if !(BinSearch{}).Parallel() || !(GroupTesting{}).Parallel() {
+		t.Error("BinS and Gt must report parallel TestEviction")
+	}
+}
+
+func TestEvictionSetVerifiedCountsCongruence(t *testing.T) {
+	e := newQuietEnv(t, 52)
+	cfg := e.Host().Config()
+	cands := NewCandidates(e, DefaultPoolSize(cfg), 0)
+	ta := cands.Addrs[0]
+	target := e.Main.SetOf(ta)
+	var cong, junk []memory.VAddr
+	for _, va := range cands.Addrs[1:] {
+		if e.Main.SetOf(va) == target {
+			cong = append(cong, va)
+		} else {
+			junk = append(junk, va)
+		}
+	}
+	set := &EvictionSet{Ta: ta, Lines: append(append([]memory.VAddr{}, cong[:cfg.SFWays-1]...), junk[0])}
+	if set.Verified(e.Main, cfg.SFWays) {
+		t.Fatal("set with a junk member must not verify at full width")
+	}
+	if !set.Verified(e.Main, cfg.SFWays-1) {
+		t.Fatal("set must verify at its true congruent count")
+	}
+}
+
+func TestBulkResultUniqueVerified(t *testing.T) {
+	e := newQuietEnv(t, 53)
+	cfg := e.Host().Config()
+	cands := NewCandidates(e, DefaultPoolSize(cfg), 0)
+	ta := cands.Addrs[0]
+	res := BuildSF(e, BinSearch{}, ta, cands.Addrs[1:], DefaultOptions())
+	if !res.OK {
+		t.Fatal("setup failed")
+	}
+	// Duplicate the same set: unique count must be 1.
+	br := BulkResult{Sets: []*EvictionSet{res.Set, res.Set}}
+	if got := br.UniqueVerified(e.Main, cfg.SFWays); got != 1 {
+		t.Fatalf("unique verified = %d, want 1", got)
+	}
+}

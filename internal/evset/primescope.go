@@ -1,0 +1,124 @@
+package evset
+
+import "repro/internal/memory"
+
+// PrimeScope implements the Prime+Scope-style pruning algorithm (paper
+// §2.2.1, Algorithm 2): load Ta, then sequentially access candidates; a
+// one-line probe of Ta after each access reveals — with minimal latency,
+// because only Ta is timed — the moment a candidate displaces Ta's SF
+// entry, identifying that candidate as congruent.
+//
+// The search is repeated over a shrinking prefix: the first pass fills
+// the target SF set with congruent candidates until Ta is evicted, which
+// names the prefix's last congruent element; that element is removed from
+// the prefix and the scan repeats, cascading reinsertions through the
+// now-stale SF entries so each pass names the next congruent element.
+// This yields O(W²·U) sequential accesses in total.
+//
+// Prime+Scope is inherently sequential: the scope probe must follow each
+// candidate access, so it cannot use parallel TestEviction (§4.1). That
+// is precisely why the paper finds it fragile under cloud noise: the long
+// sequential window gives background tenants many chances to evict Ta,
+// and every such eviction mislabels a non-congruent candidate.
+type PrimeScope struct {
+	// Recharge enables the PsOp optimization (Appendix A): after a
+	// congruent address is found, candidates from the back of the pool
+	// are moved near the prefix's front, replenishing congruent
+	// addresses and shortening later passes.
+	Recharge bool
+}
+
+// Name returns "Ps" or "PsOp".
+func (p PrimeScope) Name() string {
+	if p.Recharge {
+		return "PsOp"
+	}
+	return "Ps"
+}
+
+// Parallel reports that Prime+Scope uses sequential TestEviction.
+func (p PrimeScope) Parallel() bool { return false }
+
+// rechargeChunk is how many tail candidates PsOp moves into the prefix
+// after each detection.
+const rechargeChunk = 32
+
+// Prune scans candidates sequentially, probing Ta after each access.
+func (p PrimeScope) Prune(e *Env, target Target, ta memory.VAddr, cands []memory.VAddr, ways int, b *Budget) ([]memory.VAddr, error) {
+	found := make([]memory.VAddr, 0, ways)
+	prefix := append([]memory.VAddr(nil), cands...)
+	reserve := []memory.VAddr(nil) // PsOp recharge source (tail of the pool)
+	if p.Recharge {
+		cut := len(prefix) * 3 / 4
+		reserve = prefix[cut:]
+		prefix = prefix[:cut]
+	}
+
+	prime := func() { e.Main.Access(ta) }
+	// scope probes Ta with a single timed access: an L1/L2 hit means Ta
+	// is still tracked; anything slower means its SF entry was evicted
+	// (by the last candidate — or by noise, which Prime+Scope cannot
+	// distinguish and which is its weakness in the cloud).
+	scope := func() bool {
+		lat, _ := e.Main.TimedAccess(ta)
+		return float64(lat) > e.ThreshPrivate
+	}
+
+	for len(found) < ways {
+		if b.Expired(e) {
+			return nil, ErrExhausted
+		}
+		prime()
+		detected := -1
+		for pos := 0; pos < len(prefix); pos++ {
+			if prefix[pos] == ta {
+				continue
+			}
+			e.Main.AccessSeq(prefix[pos : pos+1])
+			if scope() {
+				detected = pos
+				break
+			}
+			if pos%256 == 255 && b.Expired(e) {
+				return nil, ErrExhausted
+			}
+		}
+		if detected < 0 {
+			// The prefix no longer evicts Ta: either congruent addresses
+			// ran dry or an earlier detection was a noise artifact.
+			if len(found) == 0 {
+				return nil, ErrExhausted
+			}
+			// Backtrack: return the most recently found address to the
+			// prefix and try again.
+			b.Backtracks++
+			last := found[len(found)-1]
+			found = found[:len(found)-1]
+			prefix = append(prefix, last)
+			continue
+		}
+		found = append(found, prefix[detected])
+		prefix = append(prefix[:detected], prefix[detected+1:]...)
+		if p.Recharge && len(reserve) > 0 {
+			n := rechargeChunk
+			if n > len(reserve) {
+				n = len(reserve)
+			}
+			// Move fresh candidates near the front of the prefix so the
+			// shrinking prefix keeps enough congruent addresses.
+			prefix = append(reserve[:n:n], prefix...)
+			reserve = reserve[n:]
+		}
+		if len(found) == ways {
+			set := append([]memory.VAddr(nil), found...)
+			if e.TestEviction(target, ta, set, len(set), true) {
+				return set, nil
+			}
+			// At least one member is a noise artifact: drop the oldest
+			// and continue scanning (counts as a backtrack).
+			found = found[1:]
+			b.Backtracks++
+		}
+	}
+	return nil, ErrExhausted
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure from the paper's evaluation must have a
+	// registered runner (DESIGN.md §3).
+	want := []string{
+		"table3", "fig2", "fig3", "table4", "filter", "icelake",
+		"table5", "fig6", "fig7", "table6", "fig9", "e2e",
+		"abl-policy", "abl-noise",
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(IDs()) < len(want) {
+		t.Errorf("registry has %d entries, want >= %d", len(IDs()), len(want))
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	r := &Report{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "22"}, {"333", "4"}},
+		Paper:  []string{"paper says"},
+		Notes:  []string{"note"},
+	}
+	var sb strings.Builder
+	r.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== x: demo ==", "paper says", "333", "note:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	rep := Figure3(Options{Seed: 3, Trials: 8})
+	if len(rep.Rows) != 6 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// The sequential/parallel ratio at 11U must exceed 10x.
+	last := rep.Rows[len(rep.Rows)-1]
+	ratio := last[len(last)-1]
+	if !strings.HasSuffix(ratio, "x") {
+		t.Fatalf("ratio cell %q", ratio)
+	}
+	v, err := strconv.ParseFloat(ratio[:len(ratio)-1], 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", ratio, err)
+	}
+	if v < 10 {
+		t.Errorf("11U sequential/parallel ratio %.1f, want >= 10 (paper ~34x)", v)
+	}
+}
+
+func TestFilterOverheadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	rep := FilterOverhead(Options{Seed: 5})
+	if len(rep.Rows) < 4 {
+		t.Fatalf("rows = %d: %v", len(rep.Rows), rep.Rows)
+	}
+}
+
+func TestNoiseScaleFactors(t *testing.T) {
+	o := Options{}
+	unf := constructionNoiseScale(localConfig(o), false)
+	fil := constructionNoiseScale(localConfig(o), true)
+	if unf <= 1 || fil <= 1 {
+		t.Fatalf("scales must exceed 1: %v %v", unf, fil)
+	}
+	if fil >= unf {
+		t.Fatalf("filtered scale %v must be below unfiltered %v", fil, unf)
+	}
+	full := Options{Full: true}
+	if s := constructionNoiseScale(localConfig(full), false); s != 1 {
+		// 22-slice full local differs slightly from the 28-slice norm.
+		if s < 0.5 || s > 2 {
+			t.Fatalf("full-scale factor %v should be near 1", s)
+		}
+	}
+}

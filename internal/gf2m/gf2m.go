@@ -1,0 +1,299 @@
+// Package gf2m implements binary-field GF(2^m) arithmetic in polynomial
+// basis, the substrate of the vulnerable ECDSA victim (curve sect571r1
+// uses GF(2^571) with the standard pentanomial, §7.1).
+//
+// Elements are bit vectors over little-endian uint64 words. All routines
+// are deterministic; none are constant-time — the victim's leak is a
+// code-layout property, not a data-timing property, so the arithmetic
+// here only needs to be correct.
+package gf2m
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/xrand"
+)
+
+// Field describes GF(2^m) reduced by the polynomial with the given
+// exponents (which must include m and 0, in decreasing order).
+type Field struct {
+	M     int
+	Poly  []int // e.g. [571, 10, 5, 2, 0]
+	words int
+}
+
+// NewField creates a field. It panics on malformed polynomials.
+func NewField(poly []int) *Field {
+	if len(poly) < 2 || poly[len(poly)-1] != 0 {
+		panic("gf2m: polynomial must end with exponent 0")
+	}
+	for i := 1; i < len(poly); i++ {
+		if poly[i] >= poly[i-1] {
+			panic("gf2m: polynomial exponents must strictly decrease")
+		}
+	}
+	m := poly[0]
+	return &Field{M: m, Poly: poly, words: (m + 63) / 64}
+}
+
+// Standard field polynomials (SEC 2).
+var (
+	// Sect571Poly is x^571 + x^10 + x^5 + x^2 + 1 (sect571r1 / B-571).
+	Sect571Poly = []int{571, 10, 5, 2, 0}
+	// Sect163Poly is x^163 + x^7 + x^6 + x^3 + 1 (sect163r2 / B-163).
+	Sect163Poly = []int{163, 7, 6, 3, 0}
+	// Toy17Poly is x^17 + x^3 + 1 — a brute-forceable field used by
+	// round-trip tests.
+	Toy17Poly = []int{17, 3, 0}
+)
+
+// Words returns the number of 64-bit words per element.
+func (f *Field) Words() int { return f.words }
+
+// Elem is a field element; its length equals Field.Words().
+type Elem []uint64
+
+// NewElem returns the zero element.
+func (f *Field) NewElem() Elem { return make(Elem, f.words) }
+
+// Zero reports whether e is zero.
+func (e Elem) Zero() bool {
+	for _, w := range e {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports element equality.
+func (e Elem) Equal(o Elem) bool {
+	for i := range e {
+		if e[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of e.
+func (e Elem) Clone() Elem { return append(Elem(nil), e...) }
+
+// Bit returns bit i of e.
+func (e Elem) Bit(i int) uint {
+	if i < 0 || i >= len(e)*64 {
+		return 0
+	}
+	return uint(e[i/64]>>(i%64)) & 1
+}
+
+// SetBit sets bit i of e to v.
+func (e Elem) SetBit(i int, v uint) {
+	if v&1 == 1 {
+		e[i/64] |= 1 << (i % 64)
+	} else {
+		e[i/64] &^= 1 << (i % 64)
+	}
+}
+
+// Degree returns the degree of e as a polynomial, or -1 for zero.
+func (e Elem) Degree() int {
+	for i := len(e) - 1; i >= 0; i-- {
+		if e[i] != 0 {
+			return i*64 + 63 - bits.LeadingZeros64(e[i])
+		}
+	}
+	return -1
+}
+
+// String formats the element as hex (most significant word first).
+func (e Elem) String() string {
+	s := ""
+	for i := len(e) - 1; i >= 0; i-- {
+		s += fmt.Sprintf("%016x", e[i])
+	}
+	return "0x" + s
+}
+
+// One returns the multiplicative identity.
+func (f *Field) One() Elem {
+	e := f.NewElem()
+	e[0] = 1
+	return e
+}
+
+// FromUint64 returns the element with the given low word.
+func (f *Field) FromUint64(v uint64) Elem {
+	e := f.NewElem()
+	e[0] = v
+	f.reduce(e)
+	return e
+}
+
+// Rand returns a uniformly random element.
+func (f *Field) Rand(rng *xrand.Rand) Elem {
+	e := f.NewElem()
+	for i := range e {
+		e[i] = rng.Uint64()
+	}
+	f.mask(e)
+	return e
+}
+
+// mask clears bits at and above m (valid only for already-reduced
+// representations; used after random fills).
+func (f *Field) mask(e Elem) {
+	top := f.M % 64
+	if top != 0 {
+		e[len(e)-1] &= (1 << top) - 1
+	}
+}
+
+// Add returns a+b (XOR). Aliasing is allowed.
+func (f *Field) Add(dst, a, b Elem) Elem {
+	for i := range dst {
+		dst[i] = a[i] ^ b[i]
+	}
+	return dst
+}
+
+// shl1 shifts e left by one bit in place, returning the carried-out bit.
+func shl1(e Elem) uint64 {
+	carry := uint64(0)
+	for i := range e {
+		next := e[i] >> 63
+		e[i] = e[i]<<1 | carry
+		carry = next
+	}
+	return carry
+}
+
+// reduce reduces an element that may have bits set at positions >= m but
+// < words*64 (at most one extra word of headroom is not supported; Mul
+// manages its own double-width reduction).
+func (f *Field) reduce(e Elem) {
+	for d := e.Degree(); d >= f.M; d = e.Degree() {
+		for _, p := range f.Poly {
+			idx := d - f.M + p
+			e[idx/64] ^= 1 << (idx % 64)
+		}
+	}
+}
+
+// Mul returns a*b mod f. dst may alias a or b (the product is built in a
+// scratch accumulator).
+func (f *Field) Mul(dst, a, b Elem) Elem {
+	if len(a) < f.words || len(b) < f.words {
+		panic("gf2m: uninitialized element")
+	}
+	// Left-to-right shift-and-add with interleaved reduction: one word of
+	// headroom holds the transient bit m between shift and reduction.
+	acc := make(Elem, f.words+1)
+	for i := f.M - 1; i >= 0; i-- {
+		shl1(acc)
+		if acc.Bit(f.M) == 1 {
+			acc.SetBit(f.M, 0)
+			for _, p := range f.Poly[1:] {
+				acc.SetBit(p, acc.Bit(p)^1)
+			}
+		}
+		if b.Bit(i) == 1 {
+			for w := 0; w < f.words; w++ {
+				acc[w] ^= a[w]
+			}
+		}
+	}
+	copy(dst, acc[:f.words])
+	return dst
+}
+
+// Sqr returns a² mod f. dst may alias a.
+func (f *Field) Sqr(dst, a Elem) Elem {
+	return f.Mul(dst, a, a)
+}
+
+// Inv returns a⁻¹ mod f using the binary extended Euclidean algorithm
+// over GF(2)[x]. It panics on zero input.
+func (f *Field) Inv(dst, a Elem) Elem {
+	if a.Zero() {
+		panic("gf2m: inverse of zero")
+	}
+	// u, v are polynomials; g1, g2 track Bezout coefficients.
+	// One extra word of headroom holds the reduction polynomial itself.
+	w := f.words + 1
+	u := make(Elem, w)
+	copy(u, a)
+	v := make(Elem, w)
+	for _, p := range f.Poly {
+		v[p/64] |= 1 << (p % 64)
+	}
+	g1 := make(Elem, w)
+	g1[0] = 1
+	g2 := make(Elem, w)
+
+	deg := func(e Elem) int { return e.Degree() }
+	xorShift := func(dst, src Elem, sh int) {
+		// dst ^= src << sh
+		wordSh, bitSh := sh/64, uint(sh%64)
+		for i := len(src) - 1; i >= 0; i-- {
+			if src[i] == 0 {
+				continue
+			}
+			lo := src[i] << bitSh
+			if i+wordSh < len(dst) {
+				dst[i+wordSh] ^= lo
+			}
+			if bitSh != 0 && i+wordSh+1 < len(dst) {
+				dst[i+wordSh+1] ^= src[i] >> (64 - bitSh)
+			}
+		}
+	}
+	for {
+		du, dv := deg(u), deg(v)
+		if du == 0 {
+			break
+		}
+		if du < dv {
+			u, v = v, u
+			g1, g2 = g2, g1
+			du, dv = dv, du
+		}
+		sh := du - dv
+		xorShift(u, v, sh)
+		xorShift(g1, g2, sh)
+	}
+	out := f.NewElem()
+	copy(out, g1[:f.words])
+	f.mask(out)
+	copy(dst, out)
+	return dst
+}
+
+// Trace returns Tr(a) = a + a² + a⁴ + ... + a^(2^(m-1)), which is 0 or 1.
+func (f *Field) Trace(a Elem) uint {
+	t := a.Clone()
+	acc := a.Clone()
+	for i := 1; i < f.M; i++ {
+		f.Sqr(acc, acc)
+		f.Add(t, t, acc)
+	}
+	return t.Bit(0)
+}
+
+// HalfTrace returns H(c) = sum of c^(4^i) for i in [0, (m-1)/2], which
+// solves z² + z = c when m is odd and Tr(c) = 0. It is used to derive
+// curve points from x-coordinates.
+func (f *Field) HalfTrace(c Elem) Elem {
+	if f.M%2 == 0 {
+		panic("gf2m: half-trace requires odd m")
+	}
+	h := c.Clone()
+	acc := c.Clone()
+	for i := 1; i <= (f.M-1)/2; i++ {
+		f.Sqr(acc, acc)
+		f.Sqr(acc, acc)
+		f.Add(h, h, acc)
+	}
+	return h
+}

@@ -1,0 +1,210 @@
+package gf2m
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+var testFields = []*Field{
+	NewField(Toy17Poly),
+	NewField(Sect163Poly),
+	NewField(Sect571Poly),
+}
+
+func TestFieldAxiomsProperty(t *testing.T) {
+	for _, f := range testFields {
+		f := f
+		rng := xrand.New(uint64(f.M))
+		check := func(seed uint64) bool {
+			r := xrand.New(seed ^ rng.Uint64())
+			a, b, c := f.Rand(r), f.Rand(r), f.Rand(r)
+			// Commutativity.
+			ab, ba := f.NewElem(), f.NewElem()
+			f.Mul(ab, a, b)
+			f.Mul(ba, b, a)
+			if !ab.Equal(ba) {
+				return false
+			}
+			// Associativity.
+			abc1, abc2, tmp := f.NewElem(), f.NewElem(), f.NewElem()
+			f.Mul(tmp, a, b)
+			f.Mul(abc1, tmp, c)
+			f.Mul(tmp, b, c)
+			f.Mul(abc2, a, tmp)
+			if !abc1.Equal(abc2) {
+				return false
+			}
+			// Distributivity: a*(b+c) == a*b + a*c.
+			bc, lhs, rhs := f.NewElem(), f.NewElem(), f.NewElem()
+			f.Add(bc, b, c)
+			f.Mul(lhs, a, bc)
+			ac := f.NewElem()
+			f.Mul(ac, a, c)
+			f.Add(rhs, ab, ac)
+			if !lhs.Equal(rhs) {
+				return false
+			}
+			// Characteristic 2: a + a == 0.
+			z := f.NewElem()
+			f.Add(z, a, a)
+			return z.Zero()
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: quickCountFor(f)}); err != nil {
+			t.Errorf("field m=%d: %v", f.M, err)
+		}
+	}
+}
+
+func quickCountFor(f *Field) int {
+	if f.M > 200 {
+		return 3 // the 571-bit field is slow; axioms don't need volume
+	}
+	return 10
+}
+
+func TestMulIdentityAndZero(t *testing.T) {
+	for _, f := range testFields {
+		rng := xrand.New(7)
+		a := f.Rand(rng)
+		out := f.NewElem()
+		f.Mul(out, a, f.One())
+		if !out.Equal(a) {
+			t.Errorf("m=%d: a*1 != a", f.M)
+		}
+		f.Mul(out, a, f.NewElem())
+		if !out.Zero() {
+			t.Errorf("m=%d: a*0 != 0", f.M)
+		}
+	}
+}
+
+func TestInverseProperty(t *testing.T) {
+	for _, f := range testFields {
+		rng := xrand.New(uint64(13 + f.M))
+		n := 8
+		if f.M > 200 {
+			n = 2
+		}
+		for i := 0; i < n; i++ {
+			a := f.Rand(rng)
+			if a.Zero() {
+				continue
+			}
+			inv, prod := f.NewElem(), f.NewElem()
+			f.Inv(inv, a)
+			f.Mul(prod, a, inv)
+			if !prod.Equal(f.One()) {
+				t.Fatalf("m=%d: a * a^-1 = %v, want 1", f.M, prod)
+			}
+		}
+	}
+}
+
+func TestSqrMatchesMul(t *testing.T) {
+	for _, f := range testFields {
+		rng := xrand.New(uint64(19 + f.M))
+		a := f.Rand(rng)
+		s1, s2 := f.NewElem(), f.NewElem()
+		f.Sqr(s1, a)
+		f.Mul(s2, a, a.Clone())
+		if !s1.Equal(s2) {
+			t.Errorf("m=%d: sqr != mul(a,a)", f.M)
+		}
+	}
+}
+
+func TestToy17Exhaustive(t *testing.T) {
+	// In GF(2^17) every nonzero element satisfies a^(2^17-1) = 1; check a
+	// few via repeated squaring-and-multiplying against Inv.
+	f := NewField(Toy17Poly)
+	rng := xrand.New(23)
+	for i := 0; i < 50; i++ {
+		a := f.Rand(rng)
+		if a.Zero() {
+			continue
+		}
+		// a^(2^17-2) must equal a^-1.
+		exp := uint64(1<<17 - 2)
+		acc := f.One()
+		base := a.Clone()
+		for e := exp; e > 0; e >>= 1 {
+			if e&1 == 1 {
+				f.Mul(acc, acc, base)
+			}
+			f.Sqr(base, base)
+		}
+		inv := f.NewElem()
+		f.Inv(inv, a)
+		if !acc.Equal(inv) {
+			t.Fatalf("fermat inverse mismatch for %v", a)
+		}
+	}
+}
+
+func TestTraceLinear(t *testing.T) {
+	f := NewField(Toy17Poly)
+	rng := xrand.New(29)
+	for i := 0; i < 20; i++ {
+		a, b := f.Rand(rng), f.Rand(rng)
+		sum := f.NewElem()
+		f.Add(sum, a, b)
+		if f.Trace(sum) != f.Trace(a)^f.Trace(b) {
+			t.Fatal("trace is not additive")
+		}
+	}
+}
+
+func TestHalfTraceSolvesQuadratic(t *testing.T) {
+	for _, f := range []*Field{NewField(Toy17Poly), NewField(Sect163Poly)} {
+		rng := xrand.New(uint64(31 + f.M))
+		solved := 0
+		for i := 0; i < 10 && solved < 4; i++ {
+			c := f.Rand(rng)
+			if f.Trace(c) != 0 {
+				continue
+			}
+			z := f.HalfTrace(c)
+			// z² + z must equal c.
+			z2 := f.NewElem()
+			f.Sqr(z2, z)
+			f.Add(z2, z2, z)
+			if !z2.Equal(c) {
+				t.Fatalf("m=%d: half-trace failed: z²+z != c", f.M)
+			}
+			solved++
+		}
+		if solved == 0 {
+			t.Fatalf("m=%d: no Tr=0 samples found", f.M)
+		}
+	}
+}
+
+func TestBitRoundTrip(t *testing.T) {
+	f := NewField(Sect163Poly)
+	e := f.NewElem()
+	for _, i := range []int{0, 1, 63, 64, 127, 162} {
+		e.SetBit(i, 1)
+		if e.Bit(i) != 1 {
+			t.Fatalf("bit %d not set", i)
+		}
+		e.SetBit(i, 0)
+		if e.Bit(i) != 0 {
+			t.Fatalf("bit %d not cleared", i)
+		}
+	}
+}
+
+func TestDegree(t *testing.T) {
+	f := NewField(Sect163Poly)
+	e := f.NewElem()
+	if e.Degree() != -1 {
+		t.Fatal("zero degree should be -1")
+	}
+	e.SetBit(100, 1)
+	e.SetBit(3, 1)
+	if e.Degree() != 100 {
+		t.Fatalf("degree = %d, want 100", e.Degree())
+	}
+}

@@ -1,0 +1,386 @@
+package hierarchy
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/clock"
+	"repro/internal/memory"
+	"repro/internal/slicehash"
+	"repro/internal/xrand"
+)
+
+// noiseOwner is the payload marking SF entries installed by background
+// tenants; no simulated core holds their private copies.
+const noiseOwner = 0xff
+
+// SetID identifies one LLC/SF set (slice plus in-slice index). The SF and
+// LLC share the same mapping, so a SetID addresses both structures.
+type SetID struct {
+	Slice int
+	Index int
+}
+
+// String formats the set as "slice:index".
+func (s SetID) String() string { return fmt.Sprintf("%d:%d", s.Slice, s.Index) }
+
+// core bundles one core's private caches.
+type core struct {
+	l1 *cache.Cache
+	l2 *cache.Cache
+}
+
+// Host simulates one physical machine: memory, hierarchy, clock, noise.
+type Host struct {
+	cfg  Config
+	clk  *clock.Clock
+	mem  *memory.Host
+	hash *slicehash.Hash
+
+	cores []core
+	llc   []*cache.Cache // per slice
+	sf    []*cache.Cache // per slice
+
+	rng      *xrand.Rand // simulator-internal randomness (noise, jitter)
+	noiseSeq uint64
+	lastSync []clock.Cycles // per (slice, index): last noise sync time
+
+	sched eventQueue // scheduled external (victim) accesses
+
+	// Statistics for instrumentation and tests.
+	NoiseEvents uint64
+	Accesses    uint64
+}
+
+// NewHost builds a host from the config with the given seed.
+func NewHost(cfg Config, seed uint64) *Host {
+	rng := xrand.New(seed)
+	h := &Host{
+		cfg:  cfg,
+		rng:  rng,
+		mem:  memory.NewHost(cfg.MemoryBytes, rng.Split()),
+		hash: slicehash.New(cfg.Slices),
+	}
+	h.clk = clock.New(cfg.TimerJitter, rng.Split())
+	polRng := rng.Split()
+	h.cores = make([]core, cfg.Cores)
+	for i := range h.cores {
+		h.cores[i] = core{
+			l1: cache.New(cache.Config{Name: fmt.Sprintf("L1[%d]", i), Sets: cfg.L1Sets, Ways: cfg.L1Ways, Policy: cache.TrueLRU}, polRng),
+			l2: cache.New(cache.Config{Name: fmt.Sprintf("L2[%d]", i), Sets: cfg.L2Sets, Ways: cfg.L2Ways, Policy: cfg.L2Policy}, polRng),
+		}
+	}
+	h.llc = make([]*cache.Cache, cfg.Slices)
+	h.sf = make([]*cache.Cache, cfg.Slices)
+	for s := 0; s < cfg.Slices; s++ {
+		h.llc[s] = cache.New(cache.Config{Name: fmt.Sprintf("LLC[%d]", s), Sets: cfg.LLCSets, Ways: cfg.LLCWays, Policy: cfg.LLCPolicy}, polRng)
+		h.sf[s] = cache.New(cache.Config{Name: fmt.Sprintf("SF[%d]", s), Sets: cfg.LLCSets, Ways: cfg.SFWays, Policy: cfg.SFPolicy}, polRng)
+	}
+	h.lastSync = make([]clock.Cycles, cfg.Slices*cfg.LLCSets)
+	return h
+}
+
+// Config returns the host's configuration.
+func (h *Host) Config() Config { return h.cfg }
+
+// Clock returns the shared virtual clock.
+func (h *Host) Clock() *clock.Clock { return h.clk }
+
+// Memory returns the host's physical memory.
+func (h *Host) Memory() *memory.Host { return h.mem }
+
+// NewAddressSpace creates a fresh address space (one per agent/container).
+func (h *Host) NewAddressSpace() *memory.AddressSpace {
+	return memory.NewAddressSpace(h.mem)
+}
+
+// Index helpers.
+
+func (h *Host) l1Index(pa memory.PAddr) int {
+	return int(uint64(pa)>>memory.LineBits) & (h.cfg.L1Sets - 1)
+}
+
+func (h *Host) l2Index(pa memory.PAddr) int {
+	return int(uint64(pa)>>memory.LineBits) & (h.cfg.L2Sets - 1)
+}
+
+func (h *Host) llcIndex(pa memory.PAddr) int {
+	return int(uint64(pa)>>memory.LineBits) & (h.cfg.LLCSets - 1)
+}
+
+// SetOf returns the LLC/SF set of a physical address. It is privileged
+// information used by the simulator and by ground-truth validation, never
+// by attack code.
+func (h *Host) SetOf(pa memory.PAddr) SetID {
+	return SetID{Slice: h.hash.Slice(pa), Index: h.llcIndex(pa)}
+}
+
+// latency draws a jittered base latency for the level.
+func (h *Host) latency(l Level) float64 {
+	base := h.cfg.Lat.Base[l]
+	if h.cfg.Lat.JitterFrac <= 0 {
+		return base
+	}
+	v := h.rng.Norm(base, base*h.cfg.Lat.JitterFrac)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// --- Noise injection -----------------------------------------------------
+
+// syncNoise applies the background tenant Poisson process to one LLC/SF
+// set, covering the window since the set was last synced. Each background
+// access allocates an SF entry (evicting, with back-invalidation, whatever
+// the replacement policy selects) and, with probability NoiseLLCProb,
+// installs a line in the LLC set as well.
+func (h *Host) syncNoise(set SetID) {
+	slot := set.Slice*h.cfg.LLCSets + set.Index
+	now := h.clk.Now()
+	last := h.lastSync[slot]
+	if now <= last {
+		return
+	}
+	h.lastSync[slot] = now
+	if h.cfg.NoiseRate <= 0 {
+		return
+	}
+	window := float64(now - last)
+	n := h.rng.Poisson(window * h.cfg.NoiseRate)
+	for i := 0; i < n; i++ {
+		h.noiseAccess(set)
+	}
+	h.NoiseEvents += uint64(n)
+}
+
+// noiseAccess performs one background tenant access to the set.
+func (h *Host) noiseAccess(set SetID) {
+	h.noiseSeq++
+	// Noise tags live far above any real frame so they can never collide
+	// with attacker or victim lines.
+	tag := cache.Tag(1<<62 | h.noiseSeq<<memory.LineBits)
+	ev := h.sf[set.Slice].Insert(set.Index, tag, noiseOwner)
+	h.handleSFEviction(set, ev)
+	if h.rng.Float64() < h.cfg.NoiseLLCProb {
+		lev := h.llc[set.Slice].Insert(set.Index, tag, 0)
+		h.handleLLCEviction(lev)
+	}
+}
+
+// --- Coherence bookkeeping ----------------------------------------------
+
+// handleSFEviction processes the displacement of an SF entry: the owner's
+// private copies are back-invalidated and the line may be inserted into
+// the LLC by the reuse predictor.
+func (h *Host) handleSFEviction(set SetID, ev cache.Evicted) {
+	if !ev.Valid {
+		return
+	}
+	owner := int(ev.Payload)
+	if owner != noiseOwner && owner < len(h.cores) {
+		pa := memory.PAddr(ev.Tag)
+		h.cores[owner].l1.Remove(h.l1Index(pa), ev.Tag)
+		h.cores[owner].l2.Remove(h.l2Index(pa), ev.Tag)
+	}
+	if h.rng.Float64() < h.cfg.ReuseInsertProb {
+		lev := h.llc[set.Slice].Insert(set.Index, ev.Tag, 0)
+		h.handleLLCEviction(lev)
+	}
+}
+
+// handleLLCEviction processes the displacement of an LLC (shared) line:
+// the LLC is the directory for shared lines, so sharers' private copies
+// are back-invalidated.
+func (h *Host) handleLLCEviction(ev cache.Evicted) {
+	if !ev.Valid {
+		return
+	}
+	pa := memory.PAddr(ev.Tag)
+	if uint64(ev.Tag)&(1<<62) != 0 {
+		return // noise line: no simulated core holds a copy
+	}
+	l1i, l2i := h.l1Index(pa), h.l2Index(pa)
+	for c := range h.cores {
+		h.cores[c].l1.Remove(l1i, ev.Tag)
+		h.cores[c].l2.Remove(l2i, ev.Tag)
+	}
+}
+
+// fillPrivate installs the line in the core's L2 and L1. The L1 and L2
+// are mutually non-inclusive (as on Skylake-SP): a line evicted from one
+// may survive in the other, and clean private victims are dropped
+// silently. Crucially, silent private evictions do NOT release the SF
+// entry: the Snoop Filter keeps stale entries until its own replacement
+// displaces them — the property Prime+Scope's construction exploits
+// (repeated passes over a candidate prefix cascade reinsertions through
+// the stale entries until the target becomes the LRU victim).
+func (h *Host) fillPrivate(coreID int, pa memory.PAddr) {
+	tag := cache.Tag(pa.Line())
+	c := &h.cores[coreID]
+	c.l2.Insert(h.l2Index(pa), tag, 0)
+	c.l1.Insert(h.l1Index(pa), tag, 0)
+}
+
+// --- The access path ------------------------------------------------------
+
+// accessResult carries the outcome of one state-machine step.
+type accessResult struct {
+	level Level
+}
+
+// accessState performs the cache-state transition of one demand access by
+// coreID to physical address pa, without advancing the clock. It returns
+// the level the access was served from. This is the heart of the
+// non-inclusive LLC+SF protocol (paper §2.3):
+//
+//   - L1/L2 hits stay private.
+//   - An SF hit (another core owns the line E/M) triggers a cache-to-cache
+//     forward: both copies become Shared, the SF entry is freed and the
+//     line is installed in the LLC.
+//   - An LLC hit by a core that misses privately takes the line Exclusive:
+//     it is removed from the LLC and an SF entry is allocated.
+//   - A full miss fetches from DRAM and allocates an SF entry (Exclusive).
+func (h *Host) accessState(coreID int, pa memory.PAddr) accessResult {
+	h.Accesses++
+	tag := cache.Tag(pa.Line())
+	c := &h.cores[coreID]
+
+	// Apply pending background noise and scheduled (victim) accesses to
+	// this line's LLC/SF set before the lookups: a back-invalidation that
+	// "already happened" in virtual time must be visible even to an
+	// otherwise-L1-resident line.
+	set := h.SetOf(pa)
+	h.syncNoise(set)
+	h.drainScheduled()
+
+	if _, hit := c.l1.Lookup(h.l1Index(pa), tag); hit {
+		return accessResult{level: L1Hit}
+	}
+	if _, hit := c.l2.Lookup(h.l2Index(pa), tag); hit {
+		c.l1.Insert(h.l1Index(pa), tag, 0)
+		return accessResult{level: L2Hit}
+	}
+
+	if owner, hit := h.sf[set.Slice].Lookup(set.Index, tag); hit {
+		if int(owner) != coreID && owner != noiseOwner && h.hasPrivate(int(owner), pa) {
+			// Cache-to-cache forward; line transitions E->S: SF entry
+			// freed, line installed in the LLC. The previous owner keeps
+			// its (now Shared) private copies.
+			h.sf[set.Slice].Remove(set.Index, tag)
+			lev := h.llc[set.Slice].Insert(set.Index, tag, 0)
+			h.handleLLCEviction(lev)
+			h.fillPrivate(coreID, pa)
+			return accessResult{level: SFForward}
+		}
+		// Stale, own, or noise entry: the snoop misses every private
+		// cache, so the line is refetched from DRAM; the SF entry is
+		// retained and re-owned by the requester.
+		h.sf[set.Slice].UpdatePayload(set.Index, tag, uint8(coreID))
+		h.fillPrivate(coreID, pa)
+		return accessResult{level: DRAM}
+	}
+
+	if _, hit := h.llc[set.Slice].Lookup(set.Index, tag); hit {
+		// Shared line taken Exclusive: remove from LLC, allocate SF, and
+		// invalidate every other core's (Shared) private copy — a line
+		// cannot be Exclusive in one core while cached elsewhere.
+		h.llc[set.Slice].Remove(set.Index, tag)
+		l1i, l2i := h.l1Index(pa), h.l2Index(pa)
+		for c := range h.cores {
+			if c == coreID {
+				continue
+			}
+			h.cores[c].l1.Remove(l1i, tag)
+			h.cores[c].l2.Remove(l2i, tag)
+		}
+		ev := h.sf[set.Slice].Insert(set.Index, tag, uint8(coreID))
+		h.handleSFEviction(set, ev)
+		h.fillPrivate(coreID, pa)
+		return accessResult{level: LLCHit}
+	}
+
+	// Full miss: DRAM fetch, allocate SF entry (Exclusive).
+	ev := h.sf[set.Slice].Insert(set.Index, tag, uint8(coreID))
+	h.handleSFEviction(set, ev)
+	h.fillPrivate(coreID, pa)
+	return accessResult{level: DRAM}
+}
+
+// dropPrivate silently discards the core's private copies of a line
+// without coherence actions or time cost. It models the portion of an
+// access pattern (e.g. Gruss-style dual pointer chase) that displaces a
+// line from the local L1/L2 so the next touch transits the LLC; the
+// pattern's time cost is charged by the batch access model.
+func (h *Host) dropPrivate(coreID int, pa memory.PAddr) {
+	tag := cache.Tag(pa.Line())
+	c := &h.cores[coreID]
+	c.l1.Remove(h.l1Index(pa), tag)
+	c.l2.Remove(h.l2Index(pa), tag)
+}
+
+// dropL1 silently discards only the core's L1 copy (see dropPrivate).
+func (h *Host) dropL1(coreID int, pa memory.PAddr) {
+	h.cores[coreID].l1.Remove(h.l1Index(pa), cache.Tag(pa.Line()))
+}
+
+// flushLine models clflush: the line is removed from every private cache,
+// from the LLC and from the SF.
+func (h *Host) flushLine(pa memory.PAddr) {
+	tag := cache.Tag(pa.Line())
+	l1i, l2i := h.l1Index(pa), h.l2Index(pa)
+	for c := range h.cores {
+		h.cores[c].l1.Remove(l1i, tag)
+		h.cores[c].l2.Remove(l2i, tag)
+	}
+	set := h.SetOf(pa)
+	h.llc[set.Slice].Remove(set.Index, tag)
+	h.sf[set.Slice].Remove(set.Index, tag)
+}
+
+// --- Privileged inspection (validation & tests only) ----------------------
+
+// InSF reports whether the line is SF-tracked (privileged).
+func (h *Host) InSF(pa memory.PAddr) bool {
+	set := h.SetOf(pa)
+	return h.sf[set.Slice].Contains(set.Index, cache.Tag(pa.Line()))
+}
+
+// InLLC reports whether the line is LLC-resident (privileged).
+func (h *Host) InLLC(pa memory.PAddr) bool {
+	set := h.SetOf(pa)
+	return h.llc[set.Slice].Contains(set.Index, cache.Tag(pa.Line()))
+}
+
+// hasPrivate reports whether the core's L1 or L2 holds the line (used by
+// the snoop path to detect stale SF entries).
+func (h *Host) hasPrivate(coreID int, pa memory.PAddr) bool {
+	tag := cache.Tag(pa.Line())
+	c := &h.cores[coreID]
+	return c.l1.Contains(h.l1Index(pa), tag) || c.l2.Contains(h.l2Index(pa), tag)
+}
+
+// InPrivate reports whether the line is in the core's L1 or L2
+// (privileged).
+func (h *Host) InPrivate(coreID int, pa memory.PAddr) bool {
+	return h.hasPrivate(coreID, pa)
+}
+
+// InL2 reports whether the core's L2 holds the line (privileged).
+func (h *Host) InL2(coreID int, pa memory.PAddr) bool {
+	return h.cores[coreID].l2.Contains(h.l2Index(pa), cache.Tag(pa.Line()))
+}
+
+// L2SetOccupancy returns the number of valid lines in the core's L2 set
+// containing pa (privileged; used by tests).
+func (h *Host) L2SetOccupancy(coreID int, pa memory.PAddr) int {
+	return h.cores[coreID].l2.OccupiedWays(h.l2Index(pa))
+}
+
+// SFOccupancy returns how many valid entries the SF set holds
+// (privileged; used by tests).
+func (h *Host) SFOccupancy(set SetID) int { return h.sf[set.Slice].OccupiedWays(set.Index) }
+
+// LLCOccupancy returns how many valid lines the LLC set holds
+// (privileged; used by tests).
+func (h *Host) LLCOccupancy(set SetID) int { return h.llc[set.Slice].OccupiedWays(set.Index) }

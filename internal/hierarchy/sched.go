@@ -1,0 +1,80 @@
+package hierarchy
+
+import (
+	"container/heap"
+
+	"repro/internal/cache"
+	"repro/internal/clock"
+	"repro/internal/memory"
+)
+
+func toTag(pa memory.PAddr) cache.Tag { return cache.Tag(pa.Line()) }
+
+// Event is an externally scheduled access: the victim's code fetches are
+// enqueued at absolute virtual times and applied to the hierarchy as the
+// clock passes them, independent of what the attacker is doing.
+type Event struct {
+	Time clock.Cycles
+	Core int
+	PA   memory.PAddr
+	// Refetch drops the core's private copies before the access so it
+	// re-allocates an SF entry (a sender/victim deliberately signalling
+	// through the set evicts its own copy between accesses; code fetches
+	// likewise re-miss after Prime+Probe evicted the line).
+	Refetch bool
+	// Done, when non-nil, is invoked after the access is applied; the
+	// victim package uses it to record ground truth.
+	Done func(t clock.Cycles)
+}
+
+type eventQueue struct {
+	events   []Event
+	draining bool
+}
+
+func (q *eventQueue) Len() int           { return len(q.events) }
+func (q *eventQueue) Less(i, j int) bool { return q.events[i].Time < q.events[j].Time }
+func (q *eventQueue) Swap(i, j int)      { q.events[i], q.events[j] = q.events[j], q.events[i] }
+func (q *eventQueue) Push(x interface{}) { q.events = append(q.events, x.(Event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := q.events
+	n := len(old)
+	e := old[n-1]
+	q.events = old[:n-1]
+	return e
+}
+
+// Schedule enqueues an external access at an absolute time. Events in the
+// past (relative to the current clock) are applied at the next drain.
+func (h *Host) Schedule(e Event) {
+	heap.Push(&h.sched, e)
+}
+
+// ScheduledLen returns the number of pending scheduled events.
+func (h *Host) ScheduledLen() int { return h.sched.Len() }
+
+// ClearScheduled drops all pending scheduled events (used between
+// experiment trials).
+func (h *Host) ClearScheduled() { h.sched.events = h.sched.events[:0] }
+
+// drainScheduled applies every scheduled event whose time has passed.
+// It re-enters accessState, so a guard prevents recursion: events applied
+// while draining do not recursively drain.
+func (h *Host) drainScheduled() {
+	if h.sched.draining {
+		return
+	}
+	h.sched.draining = true
+	now := h.clk.Now()
+	for h.sched.Len() > 0 && h.sched.events[0].Time <= now {
+		e := heap.Pop(&h.sched).(Event)
+		if e.Refetch {
+			h.dropPrivate(e.Core, e.PA)
+		}
+		h.accessState(e.Core, e.PA)
+		if e.Done != nil {
+			e.Done(e.Time)
+		}
+	}
+	h.sched.draining = false
+}

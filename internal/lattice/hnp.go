@@ -1,0 +1,126 @@
+package lattice
+
+import "math/big"
+
+// Leak describes what the side channel learned about one signature's
+// nonce: the known most-significant bits. The Montgomery ladder leaks
+// bits from the top down (§7.1), so the earliest extracted bits of each
+// trace are exactly the MSBs this construction needs.
+type Leak struct {
+	R, S *big.Int
+	// Z is the signed digest (mod n).
+	Z *big.Int
+	// KnownMSB holds the nonce's known top bits as an integer: the nonce
+	// is KnownMSB·2^UnknownBits + b with 0 <= b < 2^UnknownBits. KnownMSB
+	// includes the leading 1 bit.
+	KnownMSB *big.Int
+	// UnknownBits is the bit length of the unknown low part.
+	UnknownBits int
+}
+
+// HNP recovers the ECDSA private key from signatures with known nonce
+// MSBs, using the Howgrave-Graham–Smart lattice. verify is called with
+// each candidate key and must return true for the real one (callers
+// check Q == d·G or re-sign a known message).
+//
+// For each signature, s·k = z + r·d (mod n) with k = a·2^L + b, b small:
+//
+//	b = (s⁻¹·r)·d + (s⁻¹·z − a·2^L)  (mod n)  =  t·d + u (mod n)
+//
+// The rows [n·e_i; t_1..t_N, B/n·?; u_1..u_N, 0, B] span a lattice
+// containing (b_1..b_N, d·B/n-ish, B), a short vector when b_i << n.
+// LLL finds it for modest dimensions.
+func HNP(n *big.Int, leaks []Leak, verify func(d *big.Int) bool) (*big.Int, bool) {
+	m := len(leaks)
+	if m == 0 {
+		return nil, false
+	}
+	// Weighting: the unknown parts are below 2^maxUnknown.
+	maxUnknown := 0
+	for _, l := range leaks {
+		if l.UnknownBits > maxUnknown {
+			maxUnknown = l.UnknownBits
+		}
+	}
+	bound := new(big.Int).Lsh(big.NewInt(1), uint(maxUnknown)) // B ≈ 2^L
+
+	ts := make([]*big.Int, m)
+	us := make([]*big.Int, m)
+	for i, l := range leaks {
+		sInv := new(big.Int).ModInverse(l.S, n)
+		if sInv == nil {
+			return nil, false
+		}
+		t := new(big.Int).Mul(sInv, l.R)
+		t.Mod(t, n)
+		a := new(big.Int).Lsh(l.KnownMSB, uint(l.UnknownBits))
+		u := new(big.Int).Mul(sInv, l.Z)
+		u.Sub(u, a)
+		u.Mod(u, n)
+		ts[i] = t
+		us[i] = u
+	}
+
+	// Rational HNP lattice, scaled by n to stay integral:
+	//   [ n²·I              0     0   ]
+	//   [ n·t_1 .. n·t_m    B     0   ]
+	//   [ n·u_1 .. n·u_m    0    n·B  ]
+	// The target combination d·(t-row) + 1·(u-row) − Σc_i·(n-rows) equals
+	// (n·b_1, .., n·b_m, d·B, n·B): every component is <= n·B, far below
+	// the Gaussian heuristic for this determinant, so LLL surfaces it.
+	dim := m + 2
+	basis := NewBasis(dim, dim)
+	n2 := new(big.Int).Mul(n, n)
+	nB := new(big.Int).Mul(n, bound)
+	for i := 0; i < m; i++ {
+		basis[i][i].Set(n2)
+	}
+	for j := 0; j < m; j++ {
+		basis[m][j].Mul(ts[j], n)
+		basis[m+1][j].Mul(us[j], n)
+	}
+	basis[m][m].Set(bound)
+	basis[m+1][m+1].Set(nB)
+
+	LLL(basis)
+
+	// Scan the reduced vectors: a row of the form
+	// (n·b_1, .., ±d·B, ±n·B) reveals d.
+	for _, row := range basis {
+		last := row[m+1]
+		if new(big.Int).Abs(last).Cmp(nB) != 0 {
+			continue
+		}
+		dB := new(big.Int).Set(row[m])
+		if last.Sign() < 0 {
+			dB.Neg(dB)
+		}
+		d := new(big.Int)
+		rem := new(big.Int)
+		d.QuoRem(dB, bound, rem)
+		if rem.Sign() != 0 {
+			continue
+		}
+		d.Mod(d, n)
+		if d.Sign() != 0 && verify(d) {
+			return d, true
+		}
+		d.Neg(d)
+		d.Mod(d, n)
+		if d.Sign() != 0 && verify(d) {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// LeakFromTopBits builds a Leak when the side channel recovered the top
+// `known` ladder bits of a nonce of bit length kBits (the leading 1 is
+// implicit and counted as known).
+func LeakFromTopBits(r, s, z, nonceTop *big.Int, kBits, known int) Leak {
+	return Leak{
+		R: r, S: s, Z: z,
+		KnownMSB:    nonceTop,
+		UnknownBits: kBits - known,
+	}
+}

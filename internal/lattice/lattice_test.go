@@ -1,0 +1,123 @@
+package lattice
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/ec2m"
+	"repro/internal/ecdsa"
+	"repro/internal/xrand"
+)
+
+func intRow(vals ...int64) []*big.Int {
+	out := make([]*big.Int, len(vals))
+	for i, v := range vals {
+		out[i] = big.NewInt(v)
+	}
+	return out
+}
+
+func TestLLLReducesClassicExample(t *testing.T) {
+	// Wikipedia's example: [[1,1,1],[-1,0,2],[3,5,6]] reduces to a basis
+	// whose first vector is (0,1,0).
+	b := Basis{intRow(1, 1, 1), intRow(-1, 0, 2), intRow(3, 5, 6)}
+	LLL(b)
+	if NormSq(b[0]).Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("first reduced vector %v has norm^2 %v, want 1", b[0], NormSq(b[0]))
+	}
+}
+
+func TestLLLFindsPlantedShortVector(t *testing.T) {
+	// Plant a short vector inside a basis of large vectors: LLL must
+	// surface a vector no longer than the planted one.
+	rng := xrand.New(1)
+	const dim = 6
+	b := NewBasis(dim, dim)
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			b[i][j] = big.NewInt(int64(rng.Intn(2000) - 1000))
+		}
+		b[i][i].Add(b[i][i], big.NewInt(100000))
+	}
+	// Planted short combination: replace row 0 by a small vector plus a
+	// lattice element (keeps the lattice unchanged only if added, so
+	// instead append smallness by construction: row0 = small).
+	b[0] = intRow(3, -2, 1, 0, 2, -1)
+	planted := NormSq(b[0])
+	LLL(b)
+	if NormSq(b[0]).Cmp(planted) > 0 {
+		t.Fatalf("reduced first vector norm^2 %v exceeds planted %v", NormSq(b[0]), planted)
+	}
+}
+
+func TestLLLPreservesLattice(t *testing.T) {
+	// The reduced basis must have the same determinant magnitude (here:
+	// verified via the Gram determinant of a 2x2 example).
+	b := Basis{intRow(201, 37), intRow(1648, 297)}
+	detBefore := new(big.Int).Sub(
+		new(big.Int).Mul(b[0][0], b[1][1]),
+		new(big.Int).Mul(b[0][1], b[1][0]))
+	LLL(b)
+	detAfter := new(big.Int).Sub(
+		new(big.Int).Mul(b[0][0], b[1][1]),
+		new(big.Int).Mul(b[0][1], b[1][0]))
+	if new(big.Int).Abs(detBefore).Cmp(new(big.Int).Abs(detAfter)) != 0 {
+		t.Fatalf("determinant changed: %v -> %v", detBefore, detAfter)
+	}
+}
+
+// TestHNPRecoversToyKey closes the paper's attack chain on the exactly
+// solvable toy curve: signatures with leaked nonce MSBs give back the
+// private key.
+func TestHNPRecoversToyKey(t *testing.T) {
+	c := ec2m.ToyCurve()
+	rng := xrand.New(42)
+	key := ecdsa.GenerateKey(c, rng)
+
+	const known = 9 // leaked top bits per nonce (incl. the leading 1)
+	var leaks []Leak
+	for i := 0; len(leaks) < 5 && i < 50; i++ {
+		z := big.NewInt(int64(5000 + i))
+		sig, nonce, err := key.Sign(z, rng, nil)
+		if err != nil {
+			continue
+		}
+		kBits := nonce.BitLen()
+		if kBits <= known {
+			continue
+		}
+		top := new(big.Int).Rsh(nonce, uint(kBits-known))
+		leaks = append(leaks, LeakFromTopBits(sig.R, sig.S, z, top, kBits, known))
+	}
+	if len(leaks) < 4 {
+		t.Fatalf("only %d usable leaks", len(leaks))
+	}
+	d, ok := HNP(c.N, leaks, func(d *big.Int) bool { return d.Cmp(key.D) == 0 })
+	if !ok {
+		t.Fatal("HNP failed to recover the key")
+	}
+	if d.Cmp(key.D) != 0 {
+		t.Fatalf("recovered %v, want %v", d, key.D)
+	}
+}
+
+func TestHNPFailsWithTooFewBits(t *testing.T) {
+	// With almost nothing leaked the lattice must not "verify" a wrong
+	// key — the verify callback is the guard.
+	c := ec2m.ToyCurve()
+	rng := xrand.New(43)
+	key := ecdsa.GenerateKey(c, rng)
+	var leaks []Leak
+	for i := 0; len(leaks) < 2; i++ {
+		z := big.NewInt(int64(100 + i))
+		sig, nonce, err := key.Sign(z, rng, nil)
+		if err != nil || nonce.BitLen() < 4 {
+			continue
+		}
+		top := new(big.Int).Rsh(nonce, uint(nonce.BitLen()-2))
+		leaks = append(leaks, LeakFromTopBits(sig.R, sig.S, z, top, nonce.BitLen(), 2))
+	}
+	if _, ok := HNP(c.N, leaks, func(d *big.Int) bool { return d.Cmp(key.D) == 0 }); ok {
+		t.Fatal("HNP claimed success with 2 known bits over 2 signatures")
+	}
+}

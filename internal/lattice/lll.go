@@ -1,0 +1,174 @@
+// Package lattice implements the post-processing step the paper defers
+// to prior work [1, 37, 61]: recovering the ECDSA private key from
+// partially known nonces via a Hidden Number Problem (HNP) lattice
+// attack. It provides an integer LLL reduction (from scratch, exact
+// rational Gram–Schmidt arithmetic) and the Howgrave-Graham–Smart HNP
+// construction over the leaked most-significant nonce bits that the
+// cache side channel extracts.
+package lattice
+
+import "math/big"
+
+// Basis is a list of integer lattice basis vectors (row vectors).
+type Basis [][]*big.Int
+
+// NewBasis allocates a zero basis of the given dimensions.
+func NewBasis(rows, cols int) Basis {
+	b := make(Basis, rows)
+	for i := range b {
+		b[i] = make([]*big.Int, cols)
+		for j := range b[i] {
+			b[i][j] = new(big.Int)
+		}
+	}
+	return b
+}
+
+// Clone deep-copies the basis.
+func (b Basis) Clone() Basis {
+	out := make(Basis, len(b))
+	for i := range b {
+		out[i] = make([]*big.Int, len(b[i]))
+		for j := range b[i] {
+			out[i][j] = new(big.Int).Set(b[i][j])
+		}
+	}
+	return out
+}
+
+// dot returns the integer inner product of two rows.
+func dot(a, b []*big.Int) *big.Int {
+	s := new(big.Int)
+	t := new(big.Int)
+	for i := range a {
+		s.Add(s, t.Mul(a[i], b[i]))
+	}
+	return s
+}
+
+// NormSq returns the squared Euclidean norm of a row.
+func NormSq(v []*big.Int) *big.Int { return dot(v, v) }
+
+// gso holds the rational Gram–Schmidt state for LLL: mu coefficients and
+// the squared norms of the orthogonalized vectors.
+type gso struct {
+	mu    [][]*big.Rat // mu[i][j], j < i
+	normB []*big.Rat   // |b*_i|^2
+}
+
+// computeGSO rebuilds the full Gram–Schmidt data for the basis. It is
+// O(n^3) big-rational work — fine for the HNP dimensions (< 100) this
+// package targets.
+func computeGSO(b Basis) *gso {
+	n := len(b)
+	g := &gso{mu: make([][]*big.Rat, n), normB: make([]*big.Rat, n)}
+	// bStar vectors as rationals.
+	cols := len(b[0])
+	bs := make([][]*big.Rat, n)
+	for i := 0; i < n; i++ {
+		bs[i] = make([]*big.Rat, cols)
+		for c := 0; c < cols; c++ {
+			bs[i][c] = new(big.Rat).SetInt(b[i][c])
+		}
+		g.mu[i] = make([]*big.Rat, i)
+		for j := 0; j < i; j++ {
+			// mu_ij = <b_i, b*_j> / |b*_j|^2
+			num := ratDotInt(b[i], bs[j])
+			mu := new(big.Rat)
+			if g.normB[j].Sign() != 0 {
+				mu.Quo(num, g.normB[j])
+			}
+			g.mu[i][j] = mu
+			// b*_i -= mu * b*_j
+			for c := 0; c < cols; c++ {
+				t := new(big.Rat).Mul(mu, bs[j][c])
+				bs[i][c].Sub(bs[i][c], t)
+			}
+		}
+		g.normB[i] = ratNormSq(bs[i])
+	}
+	return g
+}
+
+func ratDotInt(a []*big.Int, b []*big.Rat) *big.Rat {
+	s := new(big.Rat)
+	for i := range a {
+		t := new(big.Rat).SetInt(a[i])
+		t.Mul(t, b[i])
+		s.Add(s, t)
+	}
+	return s
+}
+
+func ratNormSq(v []*big.Rat) *big.Rat {
+	s := new(big.Rat)
+	for i := range v {
+		t := new(big.Rat).Mul(v[i], v[i])
+		s.Add(s, t)
+	}
+	return s
+}
+
+// roundRat rounds a rational to the nearest integer.
+func roundRat(r *big.Rat) *big.Int {
+	num := new(big.Int).Set(r.Num())
+	den := r.Denom()
+	two := big.NewInt(2)
+	half := new(big.Int).Div(den, two)
+	if num.Sign() >= 0 {
+		num.Add(num, half)
+	} else {
+		num.Sub(num, half)
+	}
+	return num.Quo(num, den)
+}
+
+// LLL reduces the basis in place with the Lenstra–Lenstra–Lovász
+// algorithm (delta = 3/4), using exact rational arithmetic. The reduced
+// basis spans the same lattice; its first vector is short (within the
+// usual 2^((n-1)/2) approximation factor of the shortest vector), which
+// is all HNP needs.
+func LLL(b Basis) {
+	n := len(b)
+	if n <= 1 {
+		return
+	}
+	delta := big.NewRat(3, 4)
+	g := computeGSO(b)
+	k := 1
+	for k < n {
+		// Size-reduce b_k against b_{k-1}..b_0.
+		for j := k - 1; j >= 0; j-- {
+			mu := g.mu[k][j]
+			if absCmpHalf(mu) > 0 {
+				q := roundRat(mu)
+				for c := range b[k] {
+					t := new(big.Int).Mul(q, b[j][c])
+					b[k][c].Sub(b[k][c], t)
+				}
+				g = computeGSO(b)
+			}
+		}
+		// Lovász condition: |b*_k|^2 >= (delta - mu_{k,k-1}^2) |b*_{k-1}|^2.
+		mu := g.mu[k][k-1]
+		lhs := new(big.Rat).Set(g.normB[k])
+		musq := new(big.Rat).Mul(mu, mu)
+		rhs := new(big.Rat).Sub(delta, musq)
+		rhs.Mul(rhs, g.normB[k-1])
+		if lhs.Cmp(rhs) >= 0 {
+			k++
+		} else {
+			b[k], b[k-1] = b[k-1], b[k]
+			g = computeGSO(b)
+			if k > 1 {
+				k--
+			}
+		}
+	}
+}
+
+// absCmpHalf compares |r| with 1/2.
+func absCmpHalf(r *big.Rat) int {
+	a := new(big.Rat).Abs(r)
+	return a.Cmp(big.NewRat(1, 2))
+}

@@ -1,0 +1,180 @@
+// Package memory models physical memory and virtual address translation
+// for the simulated host.
+//
+// The attacker in the paper is an unprivileged container user: it controls
+// the low 12 bits of every address (the 4 kB page offset) but has no
+// knowledge or control over which physical frame backs each virtual page.
+// This package reproduces that constraint: virtual pages map to physical
+// frames chosen pseudo-randomly from the host's frame pool, and only the
+// privileged simulator (not attack code) can inspect a physical address.
+package memory
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// Address geometry constants shared across the repository.
+const (
+	// LineBits is log2 of the 64 B cache line size.
+	LineBits = 6
+	// LineSize is the cache line size in bytes.
+	LineSize = 1 << LineBits
+	// PageBits is log2 of the standard 4 kB page size. Cloud Run
+	// containers cannot allocate huge pages (paper §3), so 4 kB pages
+	// are the only mapping granularity.
+	PageBits = 12
+	// PageSize is the page size in bytes.
+	PageSize = 1 << PageBits
+	// LinesPerPage is the number of cache lines in one page (64).
+	LinesPerPage = PageSize / LineSize
+)
+
+// VAddr is a virtual address within one process's address space.
+type VAddr uint64
+
+// PAddr is a physical address on the host. Attack code must never branch
+// on a PAddr; only the simulator and validation code may inspect it.
+type PAddr uint64
+
+// PageOffset returns the low 12 bits (shared between VA and PA).
+func (v VAddr) PageOffset() uint64 { return uint64(v) & (PageSize - 1) }
+
+// LineOffset returns the low 6 bits within the cache line.
+func (v VAddr) LineOffset() uint64 { return uint64(v) & (LineSize - 1) }
+
+// PageNumber returns the virtual page number.
+func (v VAddr) PageNumber() uint64 { return uint64(v) >> PageBits }
+
+// PageOffset returns the low 12 bits of the physical address.
+func (p PAddr) PageOffset() uint64 { return uint64(p) & (PageSize - 1) }
+
+// Line returns the physical line address (low 6 bits cleared).
+func (p PAddr) Line() PAddr { return p &^ (LineSize - 1) }
+
+// FrameNumber returns the physical frame number.
+func (p PAddr) FrameNumber() uint64 { return uint64(p) >> PageBits }
+
+// Host models the physical memory of one machine: a pool of frames that
+// address spaces draw from at page-fault time.
+type Host struct {
+	frames     uint64 // total number of 4 kB frames
+	rng        *xrand.Rand
+	freeList   []uint64
+	nextVictim int // index into freeList for sequential carve-outs
+}
+
+// NewHost creates a host with the given physical memory size in bytes.
+// Frames are handed out in a pseudo-random order, reproducing the fact
+// that a container's pages land on effectively arbitrary frames.
+func NewHost(bytes uint64, rng *xrand.Rand) *Host {
+	if bytes < PageSize {
+		panic("memory: host smaller than one page")
+	}
+	n := bytes / PageSize
+	h := &Host{frames: n, rng: rng}
+	h.freeList = make([]uint64, n)
+	for i := range h.freeList {
+		h.freeList[i] = uint64(i)
+	}
+	// Fisher-Yates over the frame pool; allocation order is then random.
+	for i := len(h.freeList) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		h.freeList[i], h.freeList[j] = h.freeList[j], h.freeList[i]
+	}
+	return h
+}
+
+// Frames returns the number of physical frames on the host.
+func (h *Host) Frames() uint64 { return h.frames }
+
+// allocFrame pops one random frame from the pool.
+func (h *Host) allocFrame() uint64 {
+	if h.nextVictim >= len(h.freeList) {
+		panic("memory: host out of physical frames")
+	}
+	f := h.freeList[h.nextVictim]
+	h.nextVictim++
+	return f
+}
+
+// AddressSpace is one process's (container's) virtual address space with
+// demand-populated, randomly backed pages.
+type AddressSpace struct {
+	host     *Host
+	pages    map[uint64]uint64 // virtual page number -> physical frame
+	nextPage uint64            // bump allocator for fresh virtual pages
+}
+
+// NewAddressSpace creates an empty address space on the host. The base
+// virtual page is offset per address space so that different processes
+// use disjoint VA ranges (useful for debugging traces).
+func NewAddressSpace(h *Host) *AddressSpace {
+	return &AddressSpace{
+		host:     h,
+		pages:    make(map[uint64]uint64),
+		nextPage: 0x5600_0000_0000 >> PageBits, // typical mmap-ish base
+	}
+}
+
+// Map allocates n fresh contiguous virtual pages backed by random physical
+// frames, and returns the base virtual address.
+func (as *AddressSpace) Map(n int) VAddr {
+	if n <= 0 {
+		panic("memory: Map with non-positive page count")
+	}
+	base := as.nextPage
+	for i := 0; i < n; i++ {
+		as.pages[base+uint64(i)] = as.host.allocFrame()
+	}
+	as.nextPage += uint64(n) + 1 // leave a guard page gap
+	return VAddr(base << PageBits)
+}
+
+// Translate converts a virtual address to its physical address. It panics
+// on an unmapped page — the simulation equivalent of a segfault.
+func (as *AddressSpace) Translate(v VAddr) PAddr {
+	frame, ok := as.pages[v.PageNumber()]
+	if !ok {
+		panic(fmt.Sprintf("memory: access to unmapped page at %#x", uint64(v)))
+	}
+	return PAddr(frame<<PageBits | v.PageOffset())
+}
+
+// Mapped reports whether the page containing v is mapped.
+func (as *AddressSpace) Mapped(v VAddr) bool {
+	_, ok := as.pages[v.PageNumber()]
+	return ok
+}
+
+// PageCount returns the number of mapped pages.
+func (as *AddressSpace) PageCount() int { return len(as.pages) }
+
+// Buffer is a convenience wrapper representing a contiguous virtual
+// allocation used for candidate addresses.
+type Buffer struct {
+	Base  VAddr
+	Pages int
+}
+
+// Alloc maps a buffer of the given number of pages.
+func (as *AddressSpace) Alloc(pages int) Buffer {
+	return Buffer{Base: as.Map(pages), Pages: pages}
+}
+
+// LineAt returns the virtual address of the cache line with the given page
+// index and page offset inside the buffer. offset must be line-aligned and
+// < PageSize.
+func (b Buffer) LineAt(page int, offset uint64) VAddr {
+	if page < 0 || page >= b.Pages {
+		panic("memory: page index out of buffer")
+	}
+	if offset >= PageSize || offset%LineSize != 0 {
+		panic("memory: bad line offset")
+	}
+	return b.Base + VAddr(uint64(page)<<PageBits|offset)
+}
+
+// Size returns the buffer size in bytes.
+func (b Buffer) Size() uint64 { return uint64(b.Pages) * PageSize }

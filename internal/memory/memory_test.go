@@ -1,0 +1,149 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func newHost(t testing.TB) *Host {
+	t.Helper()
+	return NewHost(64<<20, xrand.New(1))
+}
+
+func TestPageOffsetPreserved(t *testing.T) {
+	h := newHost(t)
+	as := NewAddressSpace(h)
+	base := as.Map(16)
+	f := func(page uint8, off uint16) bool {
+		va := base + VAddr(uint64(page%16)<<PageBits|uint64(off%PageSize))
+		pa := as.Translate(va)
+		return pa.PageOffset() == va.PageOffset()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctPagesDistinctFrames(t *testing.T) {
+	h := newHost(t)
+	as := NewAddressSpace(h)
+	base := as.Map(256)
+	seen := map[uint64]bool{}
+	for p := 0; p < 256; p++ {
+		fr := as.Translate(base + VAddr(p<<PageBits)).FrameNumber()
+		if seen[fr] {
+			t.Fatalf("frame %d reused", fr)
+		}
+		seen[fr] = true
+	}
+}
+
+func TestFramesLookRandom(t *testing.T) {
+	h := newHost(t)
+	as := NewAddressSpace(h)
+	base := as.Map(64)
+	ascending := 0
+	prev := uint64(0)
+	for p := 0; p < 64; p++ {
+		fr := as.Translate(base + VAddr(p<<PageBits)).FrameNumber()
+		if fr == prev+1 {
+			ascending++
+		}
+		prev = fr
+	}
+	if ascending > 8 {
+		t.Fatalf("%d consecutive frames: allocation not randomized", ascending)
+	}
+}
+
+func TestSeparateAddressSpaces(t *testing.T) {
+	h := newHost(t)
+	a, b := NewAddressSpace(h), NewAddressSpace(h)
+	va, vb := a.Map(4), b.Map(4)
+	for p := 0; p < 4; p++ {
+		fa := a.Translate(va + VAddr(p<<PageBits)).FrameNumber()
+		fb := b.Translate(vb + VAddr(p<<PageBits)).FrameNumber()
+		if fa == fb {
+			t.Fatal("two address spaces share a frame")
+		}
+	}
+}
+
+func TestUnmappedPanics(t *testing.T) {
+	h := newHost(t)
+	as := NewAddressSpace(h)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected a panic on unmapped access")
+		}
+	}()
+	as.Translate(0xdead000)
+}
+
+func TestBufferLineAt(t *testing.T) {
+	h := newHost(t)
+	as := NewAddressSpace(h)
+	buf := as.Alloc(4)
+	va := buf.LineAt(2, 0x340)
+	if va.PageOffset() != 0x340 {
+		t.Fatalf("offset = %#x", va.PageOffset())
+	}
+	if va.PageNumber() != buf.Base.PageNumber()+2 {
+		t.Fatal("wrong page")
+	}
+	if buf.Size() != 4*PageSize {
+		t.Fatalf("size = %d", buf.Size())
+	}
+}
+
+func TestBufferBoundsPanic(t *testing.T) {
+	h := newHost(t)
+	as := NewAddressSpace(h)
+	buf := as.Alloc(2)
+	for _, fn := range []func(){
+		func() { buf.LineAt(2, 0) },    // page out of range
+		func() { buf.LineAt(0, 4096) }, // offset out of range
+		func() { buf.LineAt(0, 33) },   // not line aligned
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAddrHelpers(t *testing.T) {
+	pa := PAddr(0x12345f7)
+	if pa.Line() != 0x12345c0 {
+		t.Fatalf("line = %#x", uint64(pa.Line()))
+	}
+	if pa.PageOffset() != 0x5f7 {
+		t.Fatalf("page offset = %#x", pa.PageOffset())
+	}
+	va := VAddr(0xabcd123)
+	if va.LineOffset() != 0x23 {
+		t.Fatalf("line offset = %#x", va.LineOffset())
+	}
+}
+
+func TestGuardGapBetweenMappings(t *testing.T) {
+	h := newHost(t)
+	as := NewAddressSpace(h)
+	a := as.Map(2)
+	b := as.Map(2)
+	if b <= a+2*PageSize {
+		t.Fatal("mappings not separated by a guard page")
+	}
+	if as.Mapped(a + 2*PageSize) {
+		t.Fatal("guard page should be unmapped")
+	}
+	if as.PageCount() != 4 {
+		t.Fatalf("page count = %d", as.PageCount())
+	}
+}

@@ -1,0 +1,124 @@
+package psd
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/probe"
+	"repro/internal/xrand"
+)
+
+// synthTrace builds a detection trace with the victim's structure: one
+// access per iteration boundary plus a midpoint access for zero bits,
+// over a 500 µs window, with optional uniform noise detections.
+func synthTrace(rng *xrand.Rand, period float64, noise int, active bool) *probe.Trace {
+	tr := &probe.Trace{Start: 1000, End: 1000 + clock.FromMicros(500)}
+	if active {
+		iter := period * 2 // period is the access period (half iteration)
+		for t := float64(tr.Start); t < float64(tr.End); t += iter {
+			jit := rng.Norm(0, 60)
+			tr.Times = append(tr.Times, clock.Cycles(t+jit))
+			if rng.Bool() { // a zero bit: midpoint access
+				tr.Times = append(tr.Times, clock.Cycles(t+iter/2+rng.Norm(0, 60)))
+			}
+		}
+	}
+	for i := 0; i < noise; i++ {
+		tr.Times = append(tr.Times, tr.Start+clock.Cycles(rng.Float64()*float64(tr.End-tr.Start)))
+	}
+	sortTimes(tr.Times)
+	return tr
+}
+
+func sortTimes(ts []clock.Cycles) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+func TestFeaturesSeparateClasses(t *testing.T) {
+	rng := xrand.New(1)
+	p := DefaultParams(4850)
+	target := synthTrace(rng, 4850, 15, true)
+	junk := synthTrace(rng, 4850, 90, false)
+	ft := p.Features(target)
+	fj := p.Features(junk)
+	// Feature 0 is the log peak-to-floor at f0: it must be decisively
+	// larger for the periodic trace.
+	if ft[0] < fj[0]+0.5 {
+		t.Fatalf("f0 feature: target=%.2f junk=%.2f — no separation", ft[0], fj[0])
+	}
+}
+
+func TestPrefilterCounts(t *testing.T) {
+	p := DefaultParams(4850)
+	rng := xrand.New(2)
+	if p.Prefilter(synthTrace(rng, 4850, 0, false)) {
+		t.Fatal("empty trace passed the prefilter")
+	}
+	dense := synthTrace(rng, 4850, 600, false)
+	if p.Prefilter(dense) {
+		t.Fatal("over-dense trace passed the prefilter")
+	}
+	if !p.Prefilter(synthTrace(rng, 4850, 10, true)) {
+		t.Fatal("plausible trace rejected by the prefilter")
+	}
+}
+
+func TestTrainScannerOnSynthetic(t *testing.T) {
+	rng := xrand.New(3)
+	p := DefaultParams(4850)
+	var target, non []*probe.Trace
+	for i := 0; i < 30; i++ {
+		target = append(target, synthTrace(rng, 4850, 10+rng.Intn(20), true))
+		non = append(non, synthTrace(rng, 4850, 60+rng.Intn(120), false))
+	}
+	s, m := TrainScanner(p, target, non, rng)
+	if m.FalseNegativeRate() > 0.2 || m.FalsePositiveRate() > 0.2 {
+		t.Fatalf("validation FN=%.2f FP=%.2f", m.FalseNegativeRate(), m.FalsePositiveRate())
+	}
+	// Fresh traces.
+	hit, miss := 0, 0
+	for i := 0; i < 20; i++ {
+		if s.Classify(synthTrace(rng, 4850, 15, true)) {
+			hit++
+		}
+		if s.Classify(synthTrace(rng, 4850, 100, false)) {
+			miss++
+		}
+	}
+	if hit < 15 {
+		t.Fatalf("classified only %d/20 fresh target traces", hit)
+	}
+	if miss > 5 {
+		t.Fatalf("false-positived %d/20 fresh junk traces", miss)
+	}
+}
+
+func TestWrongPeriodRejected(t *testing.T) {
+	// A periodic signal at a *different* frequency must not look like
+	// the victim (this is what separates MAdd/MDouble hot lines, §7.2).
+	rng := xrand.New(4)
+	p := DefaultParams(4850)
+	var target, non []*probe.Trace
+	for i := 0; i < 30; i++ {
+		target = append(target, synthTrace(rng, 4850, 10, true))
+		if i%2 == 0 {
+			non = append(non, synthTrace(rng, 2100, 10, true)) // wrong period
+		} else {
+			non = append(non, synthTrace(rng, 4850, 80, false))
+		}
+	}
+	s, _ := TrainScanner(p, target, non, rng)
+	wrongHits := 0
+	for i := 0; i < 20; i++ {
+		if s.Classify(synthTrace(rng, 2100, 10, true)) {
+			wrongHits++
+		}
+	}
+	if wrongHits > 6 {
+		t.Fatalf("wrong-frequency traces accepted %d/20 times", wrongHits)
+	}
+}

@@ -1,0 +1,124 @@
+// Package slicehash models the undocumented Intel LLC slice hash function.
+//
+// On Intel server CPUs every physical line address is hashed to one of the
+// LLC/SF slices. For power-of-two slice counts the hash is known to be a
+// linear (XOR-fold) function of the physical address bits above the line
+// offset. For non-power-of-two counts — such as the 28-slice Skylake-SP
+// parts that dominate Cloud Run, the 22-slice Xeon Gold 6152 and the
+// 26-slice Ice Lake-SP Xeon Gold 5320 — McCalpin's reverse engineering
+// shows a two-stage construction: a linear XOR stage producing an
+// intermediate index, followed by a non-linear lookup that folds the
+// intermediate space onto the available slices.
+//
+// For the attack algorithms the precise polynomial is irrelevant; what
+// matters behaviourally is that (a) the hash depends on many physical
+// address bits including those above the page offset, so an unprivileged
+// attacker cannot choose or predict a line's slice, and (b) lines
+// distribute near-uniformly across slices. This package reproduces both
+// properties with a deterministic construction parameterized by the slice
+// count, so experiments are reproducible.
+package slicehash
+
+import (
+	"math/bits"
+
+	"repro/internal/memory"
+	"repro/internal/xrand"
+)
+
+// Hash maps physical line addresses to slice indices.
+type Hash struct {
+	nslices int
+	masks   []uint64 // one XOR-fold mask per intermediate bit
+	lookup  []uint8  // non-linear fold for non-power-of-two counts
+	linear  bool
+}
+
+// maxPABits bounds the physical address bits participating in the hash.
+// 46 bits covers any realistic host memory size.
+const maxPABits = 46
+
+// intermediateBits is the width of the linear stage's output for the
+// non-linear construction (4096 entries, as in McCalpin's tables).
+const intermediateBits = 12
+
+// New constructs the hash for the given slice count. The function is
+// deterministic: the same count always yields the same hash, emulating a
+// fixed (if undocumented) piece of silicon.
+func New(nslices int) *Hash {
+	if nslices <= 0 {
+		panic("slicehash: non-positive slice count")
+	}
+	h := &Hash{nslices: nslices}
+	// Seed the mask generator from the slice count so distinct SKUs get
+	// distinct — but fixed — hash functions.
+	rng := xrand.New(0x51CEA5 ^ uint64(nslices)*0x9e3779b97f4a7c15)
+
+	nbits := bitsFor(nslices)
+	h.linear = 1<<nbits == nslices
+	if h.linear {
+		h.masks = make([]uint64, nbits)
+		for i := range h.masks {
+			h.masks[i] = randomMask(rng)
+		}
+		return h
+	}
+	// Non-linear: linear stage to intermediateBits bits, then a balanced
+	// lookup table onto [0, nslices).
+	h.masks = make([]uint64, intermediateBits)
+	for i := range h.masks {
+		h.masks[i] = randomMask(rng)
+	}
+	size := 1 << intermediateBits
+	h.lookup = make([]uint8, size)
+	// Fill the table with a balanced, shuffled assignment so every slice
+	// receives size/nslices (±1) intermediate values.
+	for i := 0; i < size; i++ {
+		h.lookup[i] = uint8(i % nslices)
+	}
+	rng.Shuffle(size, func(i, j int) { h.lookup[i], h.lookup[j] = h.lookup[j], h.lookup[i] })
+	return h
+}
+
+// randomMask draws a mask over PA bits [LineBits, maxPABits). Roughly half
+// the bits participate in each fold, as in the reverse-engineered
+// functions, and at least one bit above the page offset always
+// participates so page-offset control never pins the slice.
+func randomMask(rng *xrand.Rand) uint64 {
+	for {
+		m := rng.Uint64() & ((1<<maxPABits - 1) &^ (1<<memory.LineBits - 1))
+		if m>>memory.PageBits != 0 { // must involve un-controllable bits
+			return m
+		}
+	}
+}
+
+// bitsFor returns ceil(log2(n)).
+func bitsFor(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// Slices returns the number of slices.
+func (h *Hash) Slices() int { return h.nslices }
+
+// Slice returns the slice index of the physical line containing pa.
+func (h *Hash) Slice(pa memory.PAddr) int {
+	line := uint64(pa.Line())
+	idx := 0
+	for i, m := range h.masks {
+		idx |= int(parity(line&m)) << i
+	}
+	if h.linear {
+		return idx
+	}
+	return int(h.lookup[idx])
+}
+
+// parity returns the XOR of all bits in x.
+func parity(x uint64) uint64 {
+	return uint64(bits.OnesCount64(x) & 1)
+}

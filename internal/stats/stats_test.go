@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanStddevMedian(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almost(m, 5) {
+		t.Fatalf("mean = %v", m)
+	}
+	if s := Stddev(xs); math.Abs(s-2.138) > 0.01 {
+		t.Fatalf("stddev = %v", s)
+	}
+	if md := Median(xs); !almost(md, 4.5) {
+		t.Fatalf("median = %v", md)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || Stddev(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty summaries must be zero")
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Fatal("empty min/max must be infinities")
+	}
+}
+
+func TestPercentileOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p25 := Percentile(xs, 25)
+		p50 := Percentile(xs, 50)
+		p75 := Percentile(xs, 75)
+		return p25 <= p50 && p50 <= p75 &&
+			Percentile(xs, 0) == Min(xs) && Percentile(xs, 100) == Max(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	xs := []float64{1, 2, 2, 3, 10}
+	c := NewCDF(xs)
+	if v := c.At(0); v != 0 {
+		t.Fatalf("At(0) = %v", v)
+	}
+	if v := c.At(2); !almost(v, 0.6) {
+		t.Fatalf("At(2) = %v", v)
+	}
+	if v := c.At(10); !almost(v, 1) {
+		t.Fatalf("At(10) = %v", v)
+	}
+	prev := -1.0
+	for x := -1.0; x < 12; x += 0.25 {
+		v := c.At(x)
+		if v < prev {
+			t.Fatalf("CDF decreased at %v", x)
+		}
+		prev = v
+	}
+}
+
+func TestCDFQuantileInverse(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	c := NewCDF(xs)
+	if q := c.Quantile(0.5); math.Abs(q-50) > 1 {
+		t.Fatalf("quantile(0.5) = %v", q)
+	}
+	if q := c.Quantile(0); q != 0 {
+		t.Fatalf("quantile(0) = %v", q)
+	}
+	if q := c.Quantile(1); q != 100 {
+		t.Fatalf("quantile(1) = %v", q)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, v := range []float64{-1, 0, 0.5, 5, 9.99, 10, 100} {
+		h.Add(v)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Total() != 4 {
+		t.Fatalf("total=%d", h.Total())
+	}
+	if h.Counts[0] != 2 || h.Counts[5] != 1 || h.Counts[9] != 1 {
+		t.Fatalf("counts=%v", h.Counts)
+	}
+	if c := h.BinCenter(0); !almost(c, 0.5) {
+		t.Fatalf("bin center = %v", c)
+	}
+	if m := h.Mode(); !almost(m, 0.5) {
+		t.Fatalf("mode = %v", m)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Rate() != 0 {
+		t.Fatal("empty counter rate must be 0")
+	}
+	c.Record(true)
+	c.Record(true)
+	c.Record(false)
+	if !almost(c.Rate(), 2.0/3) {
+		t.Fatalf("rate = %v", c.Rate())
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || !almost(s.Mean, 2) || !almost(s.Median, 2) {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	px, py := NewCDF(xs).Points(10)
+	if len(px) != 10 || len(py) != 10 {
+		t.Fatalf("points: %d/%d", len(px), len(py))
+	}
+	for i := 1; i < len(px); i++ {
+		if px[i] < px[i-1] || py[i] < py[i-1] {
+			t.Fatal("points not monotone")
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	a := New(7)
+	b := a.Split()
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[a.Uint64()] = true
+	}
+	for i := 0; i < 1000; i++ {
+		if seen[b.Uint64()] {
+			t.Fatal("split stream collided with parent")
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	r := New(5)
+	const buckets = 16
+	counts := make([]int, buckets)
+	const n = 160000
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates from %f", b, c, want)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(6)
+	const rate = 0.5
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(rate)
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.05 {
+		t.Fatalf("exponential mean %.3f, want %.3f", mean, 1/rate)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(7)
+	for _, mean := range []float64{0.5, 4, 30, 200} {
+		sum := 0.0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean) > 4*math.Sqrt(mean/n)*10+0.1 {
+			t.Fatalf("poisson(%v) mean = %.3f", mean, got)
+		}
+	}
+}
+
+func TestPoissonZeroAndNegative(t *testing.T) {
+	r := New(8)
+	if r.Poisson(0) != 0 || r.Poisson(-1) != 0 {
+		t.Fatal("non-positive means must yield 0")
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(9)
+	const n = 100000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("mean %.3f, want 10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Fatalf("stddev %.3f, want 2", math.Sqrt(variance))
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(10)
+	f := func(n uint8) bool {
+		m := int(n%64) + 1
+		p := r.Perm(m)
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesFills(t *testing.T) {
+	r := New(11)
+	for _, n := range []int{0, 1, 7, 8, 9, 64, 71} {
+		b := make([]byte, n)
+		r.Bytes(b)
+		if n >= 16 {
+			zero := 0
+			for _, v := range b {
+				if v == 0 {
+					zero++
+				}
+			}
+			if zero == n {
+				t.Fatalf("Bytes left a %d-byte buffer all zero", n)
+			}
+		}
+	}
+}
