@@ -21,6 +21,7 @@ import (
 	"repro/internal/ec2m"
 	"repro/internal/ecdsa"
 	"repro/internal/evset"
+	"repro/internal/experiments"
 	"repro/internal/hierarchy"
 	"repro/internal/lattice"
 	"repro/internal/memory"
@@ -278,6 +279,36 @@ func BenchmarkAblationBacktrack_BinSUnderNoise(b *testing.B) {
 		e := evset.NewEnv(h, uint64(i)^0xbb)
 		cands := evset.NewCandidates(e, evset.DefaultPoolSize(cfg), 0)
 		evset.BuildSF(e, evset.BinSearch{}, cands.Addrs[0], cands.Addrs[1:], evset.FilteredOptions())
+	}
+}
+
+// --- Trial engine -----------------------------------------------------------
+
+// BenchmarkEngine_Table3 times a whole engine-driven runner (16 trials
+// over pooled hosts) — the end-to-end number the parallel orchestration
+// work optimizes.
+func BenchmarkEngine_Table3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table3(experiments.Options{Seed: uint64(i) + 1, Trials: 2})
+	}
+}
+
+// BenchmarkMicro_NewHost vs BenchmarkMicro_HostReset show what the host
+// pools save per trial: Reset reuses the frame pool and cache arrays.
+func BenchmarkMicro_NewHost(b *testing.B) {
+	cfg := cloudCfg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hierarchy.NewHost(cfg, uint64(i)+1)
+	}
+}
+
+func BenchmarkMicro_HostReset(b *testing.B) {
+	h := hierarchy.NewHost(cloudCfg(), 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Reset(uint64(i) + 1)
 	}
 }
 

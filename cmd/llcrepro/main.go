@@ -2,7 +2,11 @@
 // simulated hosts. Run with -list to see the available experiment ids,
 // -exp <id> to run one, or -all to run everything. -full switches to
 // paper-scale geometry (28/22-slice Skylake-SP, sect571r1 victims) at a
-// large simulation-time cost.
+// large simulation-time cost. -parallel fans each experiment's trials out
+// over a worker pool; for a fixed -seed the reports are byte-identical at
+// every worker count, so -parallel only changes wall-clock time (timings
+// are printed to stderr, never into the report). -json emits the reports
+// as machine-readable JSON instead of text tables.
 package main
 
 import (
@@ -16,12 +20,14 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id to run (see -list)")
-		all    = flag.Bool("all", false, "run every experiment")
-		list   = flag.Bool("list", false, "list experiment ids")
-		full   = flag.Bool("full", false, "paper-scale geometry (slow)")
-		seed   = flag.Uint64("seed", 1, "deterministic seed")
-		trials = flag.Int("trials", 0, "override trial counts (0 = default)")
+		exp      = flag.String("exp", "", "experiment id to run (see -list)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiment ids")
+		full     = flag.Bool("full", false, "paper-scale geometry (slow)")
+		seed     = flag.Uint64("seed", 1, "deterministic seed")
+		trials   = flag.Int("trials", 0, "override trial counts (0 = default)")
+		parallel = flag.Int("parallel", 0, "trial workers per experiment (0 = GOMAXPROCS, 1 = sequential)")
+		asJSON   = flag.Bool("json", false, "emit reports as JSON instead of text tables")
 	)
 	flag.Parse()
 
@@ -31,7 +37,7 @@ func main() {
 		}
 		return
 	}
-	opt := experiments.Options{Seed: *seed, Full: *full, Trials: *trials}
+	opt := experiments.Options{Seed: *seed, Full: *full, Trials: *trials, Workers: *parallel}
 	ids := []string{}
 	switch {
 	case *all:
@@ -50,7 +56,16 @@ func main() {
 		}
 		start := time.Now()
 		rep := r(opt)
-		rep.Notes = append(rep.Notes, fmt.Sprintf("simulation wall time: %s", time.Since(start).Round(time.Millisecond)))
+		// Wall time goes to stderr so stdout stays byte-identical across
+		// runs and worker counts (the determinism contract).
+		fmt.Fprintf(os.Stderr, "%s: wall time %s\n", id, time.Since(start).Round(time.Millisecond))
+		if *asJSON {
+			if err := rep.FprintJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			continue
+		}
 		rep.Fprint(os.Stdout)
 	}
 }

@@ -45,7 +45,15 @@ type Session struct {
 // NewSession builds a host from the config and co-locates an attacker
 // environment and a victim using the given curve.
 func NewSession(cfg hierarchy.Config, curve *ec2m.Curve, seed uint64) *Session {
-	h := hierarchy.NewHost(cfg, seed)
+	return NewSessionOn(hierarchy.NewHost(cfg, seed), curve, seed)
+}
+
+// NewSessionOn co-locates an attacker environment and a victim on an
+// existing host — typically one recycled through the experiment engine's
+// host pools and already Reset to this trial's seed. The host must be
+// freshly built or freshly reset: the session assumes empty caches and a
+// clock at zero.
+func NewSessionOn(h *hierarchy.Host, curve *ec2m.Curve, seed uint64) *Session {
 	env := evset.NewEnv(h, seed^0xa77ac)
 	v := victim.New(h, coreVictim, curve, seed^0x71c71)
 	return &Session{H: h, Env: env, V: v, Rng: xrand.New(seed ^ 0x5e55)}

@@ -202,3 +202,18 @@ func (c *Cache) FlushAll() {
 		c.FlushSet(i)
 	}
 }
+
+// Reset restores the cache to the state New would produce with rng: every
+// line invalidated, replacement metadata cleared, and randomized policies
+// re-pointed at rng so the victim stream replays identically. It reuses
+// the existing arrays, so pooled hosts reset without allocating.
+func (c *Cache) Reset(rng *xrand.Rand) {
+	for i := range c.sets {
+		s := &c.sets[i]
+		for w := range s.valid {
+			s.valid[w] = false
+		}
+		s.pol.reset()
+		s.pol.reseed(rng)
+	}
+}

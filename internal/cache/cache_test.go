@@ -186,3 +186,30 @@ func TestBadGeometryPanics(t *testing.T) {
 	}()
 	New(Config{Name: "bad", Sets: 4, Ways: 0, Policy: TrueLRU}, xrand.New(1))
 }
+
+func TestResetMatchesFresh(t *testing.T) {
+	// A reset cache must replay the victim stream of a freshly built one,
+	// including for randomized policies (the host-pool contract).
+	for _, pol := range []PolicyKind{TrueLRU, TreePLRU, SRRIP, QLRU, RandomRepl} {
+		fresh := New(Config{Name: "f", Sets: 2, Ways: 4, Policy: pol}, xrand.New(5))
+		reused := New(Config{Name: "r", Sets: 2, Ways: 4, Policy: pol}, xrand.New(99))
+		// Dirty the reused cache.
+		for i := Tag(1); i <= 9; i++ {
+			reused.Insert(0, i, 0)
+			reused.Insert(1, i+100, 0)
+		}
+		reused.Reset(xrand.New(5))
+		for s := 0; s < 2; s++ {
+			if n := reused.OccupiedWays(s); n != 0 {
+				t.Fatalf("%v: set %d still holds %d lines after reset", pol, s, n)
+			}
+		}
+		for i := Tag(1); i <= 40; i++ {
+			fe := fresh.Insert(0, i, 0)
+			re := reused.Insert(0, i, 0)
+			if fe != re {
+				t.Fatalf("%v: insertion %d evicted %v fresh vs %v reset", pol, i, fe, re)
+			}
+		}
+	}
+}

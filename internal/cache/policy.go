@@ -55,6 +55,10 @@ type policyState interface {
 	victim() int
 	// reset clears the state (used when a set is flushed).
 	reset()
+	// reseed swaps the randomness source so a reset cache replays the
+	// same victim stream a freshly built cache would draw. Deterministic
+	// policies ignore it.
+	reseed(rng *xrand.Rand)
 }
 
 // newPolicyState builds per-set state for the given kind. rng is used only
@@ -111,9 +115,10 @@ func (s *lruState) moveToFront(way int) {
 	s.order[0] = w
 }
 
-func (s *lruState) touch(way int)  { s.moveToFront(way) }
-func (s *lruState) insert(way int) { s.moveToFront(way) }
-func (s *lruState) victim() int    { return int(s.order[len(s.order)-1]) }
+func (s *lruState) touch(way int)      { s.moveToFront(way) }
+func (s *lruState) insert(way int)     { s.moveToFront(way) }
+func (s *lruState) victim() int        { return int(s.order[len(s.order)-1]) }
+func (s *lruState) reseed(*xrand.Rand) {}
 
 // plruState implements Tree-PLRU for power-of-two associativity. The tree
 // is stored as bits in a flat array; bit=0 means "go left for victim".
@@ -150,7 +155,8 @@ func (s *plruState) touch(way int) {
 	}
 }
 
-func (s *plruState) insert(way int) { s.touch(way) }
+func (s *plruState) insert(way int)     { s.touch(way) }
+func (s *plruState) reseed(*xrand.Rand) {}
 
 func (s *plruState) victim() int {
 	node := 0
@@ -191,8 +197,9 @@ func (s *rripState) reset() {
 	}
 }
 
-func (s *rripState) touch(way int)  { s.rrpv[way] = 0 }
-func (s *rripState) insert(way int) { s.rrpv[way] = rripMax - 1 }
+func (s *rripState) touch(way int)          { s.rrpv[way] = 0 }
+func (s *rripState) insert(way int)         { s.rrpv[way] = rripMax - 1 }
+func (s *rripState) reseed(rng *xrand.Rand) { s.rng = rng }
 
 func (s *rripState) victim() int {
 	for {
@@ -228,8 +235,9 @@ func (s *qlruState) reset() {
 	}
 }
 
-func (s *qlruState) touch(way int)  { s.age[way] = 0 }
-func (s *qlruState) insert(way int) { s.age[way] = 1 }
+func (s *qlruState) touch(way int)      { s.age[way] = 0 }
+func (s *qlruState) insert(way int)     { s.age[way] = 1 }
+func (s *qlruState) reseed(*xrand.Rand) {}
 
 func (s *qlruState) victim() int {
 	for {
@@ -250,7 +258,8 @@ type randomState struct {
 	rng  *xrand.Rand
 }
 
-func (s *randomState) reset()      {}
-func (s *randomState) touch(int)   {}
-func (s *randomState) insert(int)  {}
-func (s *randomState) victim() int { return s.rng.Intn(s.ways) }
+func (s *randomState) reset()                 {}
+func (s *randomState) touch(int)              {}
+func (s *randomState) insert(int)             {}
+func (s *randomState) victim() int            { return s.rng.Intn(s.ways) }
+func (s *randomState) reseed(rng *xrand.Rand) { s.rng = rng }

@@ -51,6 +51,15 @@ func New(jitter float64, rng *xrand.Rand) *Clock {
 	return &Clock{jitter: jitter, rng: rng}
 }
 
+// Reset rewinds the clock to cycle 0 with a fresh jitter source, restoring
+// the state a newly built clock would have. Host pools use it to reuse one
+// clock across trials.
+func (c *Clock) Reset(jitter float64, rng *xrand.Rand) {
+	c.now = 0
+	c.jitter = jitter
+	c.rng = rng
+}
+
 // Now returns the current virtual time without jitter. Use Read for
 // attacker-visible timestamps.
 func (c *Clock) Now() Cycles { return c.now }

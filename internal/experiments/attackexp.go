@@ -31,9 +31,15 @@ func victimCurve(o Options) *ec2m.Curve {
 	return ec2m.Sect163()
 }
 
-// newAttackSession builds a cloud session with a victim.
+// newAttackSession builds a cloud session with a victim on a standalone
+// host (used for the shared training sessions built outside RunTrials).
 func newAttackSession(o Options, seed uint64) *attack.Session {
 	return attack.NewSession(cloudConfig(o), victimCurve(o), seed)
+}
+
+// pooledAttackSession builds a cloud session on the trial's pooled host.
+func pooledAttackSession(o Options, t *Trial, seed uint64) *attack.Session {
+	return attack.NewSessionOn(t.Host(cloudConfig(o), seed), victimCurve(o), seed)
 }
 
 // Figure7 captures one trace from the target SF set and one from a
@@ -48,33 +54,51 @@ func Figure7(o Options) *Report {
 			"target: clear peaks at f0 ≈ 0.41 MHz and harmonics; non-target: no peaks at expected frequencies",
 		},
 	}
-	s := newAttackSession(o, o.Seed)
-	p := psd.DefaultParams(s.V.ExpectedAccessPeriod())
-	td := s.CollectTrainingData(p, 2, 2)
-	if len(td.Target) == 0 || len(td.NonTarget) == 0 {
+	samples := RunTrials(1, o.Workers, subSeed(o.Seed, "fig7"), func(t *Trial) Sample {
+		s := pooledAttackSession(o, t, t.Seed)
+		p := psd.DefaultParams(s.V.ExpectedAccessPeriod())
+		td := s.CollectTrainingData(p, 2, 2)
+		if len(td.Target) == 0 || len(td.NonTarget) == 0 {
+			return Sample{}
+		}
+		period := s.V.ExpectedAccessPeriod()
+		f0 := 1.0 / period
+		describe := func(tr *probe.Trace) []float64 {
+			sig := dsp.BinTrace(timesU64(tr), uint64(tr.Start), uint64(tr.End), uint64(p.BinCycles))
+			spec := dsp.Welch(sig, 1.0/float64(p.BinCycles), dsp.DefaultWelch())
+			floor := spec.MedianPower()
+			if floor <= 0 {
+				floor = 1e-12
+			}
+			tol := f0 * 0.15
+			return []float64{
+				float64(len(tr.Times)),
+				spec.PeakNear(f0, tol) / floor,
+				spec.PeakNear(2*f0, tol) / floor,
+				spec.PeakNear(1.5*f0, tol) / floor,
+			}
+		}
+		return Sample{
+			OK:     true,
+			Value:  period,
+			Series: [][]float64{describe(td.Target[0]), describe(td.NonTarget[0])},
+		}
+	})
+	s := samples[0]
+	if !s.OK {
 		rep.Notes = append(rep.Notes, "trace collection failed")
 		return rep
 	}
-	f0 := 1.0 / s.V.ExpectedAccessPeriod()
-	describe := func(name string, tr *probe.Trace) []string {
-		sig := dsp.BinTrace(timesU64(tr), uint64(tr.Start), uint64(tr.End), uint64(p.BinCycles))
-		spec := dsp.Welch(sig, 1.0/float64(p.BinCycles), dsp.DefaultWelch())
-		floor := spec.MedianPower()
-		if floor <= 0 {
-			floor = 1e-12
-		}
-		tol := f0 * 0.15
-		return []string{
-			name, fmt.Sprint(len(tr.Times)),
-			fmt.Sprintf("%.1f", spec.PeakNear(f0, tol)/floor),
-			fmt.Sprintf("%.1f", spec.PeakNear(2*f0, tol)/floor),
-			fmt.Sprintf("%.1f", spec.PeakNear(1.5*f0, tol)/floor),
-		}
+	for i, name := range []string{"target", "non-target"} {
+		d := s.Series[i]
+		rep.Rows = append(rep.Rows, []string{
+			name, fmt.Sprint(int(d[0])),
+			fmt.Sprintf("%.1f", d[1]), fmt.Sprintf("%.1f", d[2]), fmt.Sprintf("%.1f", d[3]),
+		})
 	}
-	rep.Rows = append(rep.Rows, describe("target", td.Target[0]))
-	rep.Rows = append(rep.Rows, describe("non-target", td.NonTarget[0]))
+	period := s.Value
 	rep.Notes = append(rep.Notes,
-		fmt.Sprintf("f0 = 1/%.0f cycles = %.2f MHz at 2 GHz", s.V.ExpectedAccessPeriod(), 2000/s.V.ExpectedAccessPeriod()),
+		fmt.Sprintf("f0 = 1/%.0f cycles = %.2f MHz at 2 GHz", period, 2000/period),
 		"shape to check: target peak@f0 and @2f0 well above floor; off-frequency 1.5·f0 near floor; non-target flat")
 	return rep
 }
@@ -99,7 +123,9 @@ func Table6(o Options) *Report {
 			"WholeSys:   73.9% success, 179.7 s avg, 546.6 s p95, 762 sets/s (900 s timeout)",
 		},
 	}
-	// Train classifiers once on a separate training host.
+	// Train classifiers once on a separate training host; the trained
+	// scanner and extractor are read-only from then on, so the parallel
+	// trials can share them.
 	train := newAttackSession(o, o.Seed^0x7121)
 	p := psd.DefaultParams(train.V.ExpectedAccessPeriod())
 	rng := xrand.New(o.Seed ^ 0x9)
@@ -116,15 +142,11 @@ func Table6(o Options) *Report {
 		{"WholeSys", maxInt(2, trials(o, 8)/3), clock.FromMillis(900_000), true},
 	}
 	for _, sc := range scens {
-		var succ stats.Counter
-		var times []float64
-		scanned, dur := 0, 0.0
-		for i := 0; i < sc.trials; i++ {
-			s := newAttackSession(o, o.Seed+uint64(i)*6151+uint64(len(sc.name)))
+		samples := RunTrials(sc.trials, o.Workers, subSeed(o.Seed, "table6", sc.name), func(t *Trial) Sample {
+			s := pooledAttackSession(o, t, t.Seed)
 			sets := buildScanSets(s, sc.whole)
 			if len(sets) == 0 {
-				succ.Record(false)
-				continue
+				return Sample{Extra: []float64{0, 0}}
 			}
 			opt := attack.ScanOptions{Timeout: sc.timeout}
 			if sc.whole {
@@ -132,17 +154,23 @@ func Table6(o Options) *Report {
 				opt.Extractor = ex
 			}
 			res := s.ScanForTarget(sets, scanner, opt)
-			ok := res.Found && res.Correct
-			succ.Record(ok)
-			if ok {
-				times = append(times, float64(res.Duration))
+			return Sample{
+				OK:    res.Found && res.Correct,
+				Value: float64(res.Duration),
+				Extra: []float64{float64(res.Scanned), res.Duration.Seconds()},
 			}
-			scanned += res.Scanned
-			dur += res.Duration.Seconds()
+		})
+		var succ stats.Counter
+		scanned, dur := 0.0, 0.0
+		for _, s := range samples {
+			succ.Record(s.OK)
+			scanned += s.Extra[0]
+			dur += s.Extra[1]
 		}
+		times := okValues(samples)
 		rate := 0.0
 		if dur > 0 {
-			rate = float64(scanned) / dur
+			rate = scanned / dur
 		}
 		rep.Rows = append(rep.Rows, []string{
 			sc.name, pct(succ.Rate()),
@@ -175,34 +203,47 @@ func Figure9(o Options) *Report {
 		Header: []string{"iter", "bit", "boundary(µs)", "detections in iteration (µs offsets)"},
 		Paper:  []string{"Figure 9 shows iterations with bit 0 exhibiting a midpoint access; bits read directly off the trace"},
 	}
-	s := newAttackSession(o, o.Seed)
-	lines := targetSetLines(s)
-	if lines == nil {
+	// Row text is built inside the trial; the per-trial slot keeps the
+	// write race-free for any trial count, like the engine's own results.
+	const fig9Trials = 1
+	rowsByTrial := make([][][]string, fig9Trials)
+	samples := RunTrials(fig9Trials, o.Workers, subSeed(o.Seed, "fig9"), func(t *Trial) Sample {
+		s := pooledAttackSession(o, t, t.Seed)
+		lines := targetSetLines(s)
+		if lines == nil {
+			return Sample{}
+		}
+		m := probe.NewMonitor(s.Env, probe.Parallel, lines)
+		rec := s.TriggerOneSigning()
+		tr := m.Capture(rec.End - s.H.Clock().Now() + 20_000)
+
+		var rows [][]string
+		shown := 0
+		for i := 0; i+1 < len(rec.IterStarts) && shown < 10; i++ {
+			lo, hi := rec.IterStarts[i], rec.IterStarts[i+1]
+			var offs []string
+			for _, tt := range tr.Times {
+				if tt >= lo && tt < hi {
+					offs = append(offs, fmt.Sprintf("+%.1f", clock.Cycles(tt-lo).Micros()))
+				}
+			}
+			if len(offs) == 0 {
+				continue
+			}
+			rows = append(rows, []string{
+				fmt.Sprint(i), fmt.Sprint(rec.Bits[i]),
+				fmt.Sprintf("%.1f", lo.Micros()), fmt.Sprint(offs),
+			})
+			shown++
+		}
+		rowsByTrial[t.Index] = rows
+		return Sample{OK: true}
+	})
+	if !samples[0].OK {
 		rep.Notes = append(rep.Notes, "no congruent lines found")
 		return rep
 	}
-	m := probe.NewMonitor(s.Env, probe.Parallel, lines)
-	rec := s.TriggerOneSigning()
-	tr := m.Capture(rec.End - s.H.Clock().Now() + 20_000)
-
-	shown := 0
-	for i := 0; i+1 < len(rec.IterStarts) && shown < 10; i++ {
-		lo, hi := rec.IterStarts[i], rec.IterStarts[i+1]
-		var offs []string
-		for _, t := range tr.Times {
-			if t >= lo && t < hi {
-				offs = append(offs, fmt.Sprintf("+%.1f", clock.Cycles(t-lo).Micros()))
-			}
-		}
-		if len(offs) == 0 {
-			continue
-		}
-		rep.Rows = append(rep.Rows, []string{
-			fmt.Sprint(i), fmt.Sprint(rec.Bits[i]),
-			fmt.Sprintf("%.1f", lo.Micros()), fmt.Sprint(offs),
-		})
-		shown++
-	}
+	rep.Rows = rowsByTrial[0]
 	rep.Notes = append(rep.Notes, "shape to check: 0-bit iterations show a ~+2.4µs midpoint detection in addition to the boundary one")
 	return rep
 }
@@ -245,16 +286,23 @@ func EndToEnd(o Options) *Report {
 	if !o.Full {
 		opt.Traces = 5
 	}
+	samples := RunTrials(pairs, o.Workers, subSeed(o.Seed, "e2e"), func(t *Trial) Sample {
+		s := pooledAttackSession(o, t, t.Seed)
+		res := s.RunEndToEnd(scanner, ex, opt)
+		return Sample{
+			OK:     res.SignalFound,
+			Value:  float64(res.TotalTime),
+			Series: [][]float64{res.Fractions, res.ErrorRates},
+		}
+	})
 	signal := 0
 	var fracs, errs, totals []float64
-	for i := 0; i < pairs; i++ {
-		s := newAttackSession(o, o.Seed+uint64(i)*2741)
-		res := s.RunEndToEnd(scanner, ex, opt)
-		if res.SignalFound {
+	for _, s := range samples {
+		if s.OK {
 			signal++
-			fracs = append(fracs, res.Fractions...)
-			errs = append(errs, res.ErrorRates...)
-			totals = append(totals, float64(res.TotalTime))
+			fracs = append(fracs, s.Series[0]...)
+			errs = append(errs, s.Series[1]...)
+			totals = append(totals, s.Value)
 		}
 	}
 	rep.Rows = append(rep.Rows,

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hierarchy"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// This file implements the parallel trial-orchestration engine every
+// runner is built on. Runners describe their work as n independent
+// trials; RunTrials fans the trials out over a worker pool and returns
+// the samples in trial order. Determinism is preserved under any worker
+// count by two rules:
+//
+//  1. Trial i's randomness is fully determined by its seed, which is
+//     drawn from a splitmix64 stream (xrand.Stream) indexed by i — never
+//     by worker identity or completion order.
+//  2. A trial touches no state outside its own simulated host. Hosts are
+//     recycled through per-worker pools, and hierarchy.Host.Reset
+//     restores a pooled host to the exact state hierarchy.NewHost would
+//     produce for the trial's seed, so a recycled host replays the same
+//     virtual-time behaviour as a fresh one.
+//
+// Together these make reports byte-identical between workers=1 and
+// workers=N while letting steady-state trials allocate near-zero.
+
+// Sample is one trial's contribution to a report: a success flag, a
+// primary scalar (by convention the trial duration in cycles), optional
+// extra scalars, and optional variable-length series.
+type Sample struct {
+	OK     bool
+	Value  float64
+	Extra  []float64
+	Series [][]float64
+}
+
+// Trial hands a trial function its identity, its derived seed, and the
+// worker-local host pool.
+type Trial struct {
+	// Index is the trial's position in [0, n); aggregation slices samples
+	// by this index, so it also selects the grid cell in flattened runs.
+	Index int
+	// Seed is xrand.Stream(baseSeed, Index): the only randomness a trial
+	// may consume, directly or via sub-seeds derived from it.
+	Seed uint64
+	pool *hostPool
+}
+
+// Host returns a host with the given config, seeded for this trial —
+// a pooled host reset to the seed when the worker has one, a fresh host
+// otherwise. Both are behaviourally identical; callers must not hold a
+// host across trials. Requesting the same config twice in one trial
+// returns the same host, reset again.
+func (t *Trial) Host(cfg hierarchy.Config, seed uint64) *hierarchy.Host {
+	return t.pool.get(cfg, seed)
+}
+
+// hostPool caches one host per config for one worker. Hosts carry large
+// allocations (frame free-lists, per-slice cache arrays), so recycling
+// them drops the steady-state allocation rate of a trial to near zero.
+type hostPool struct {
+	hosts map[hierarchy.Config]*hierarchy.Host
+}
+
+func (p *hostPool) get(cfg hierarchy.Config, seed uint64) *hierarchy.Host {
+	if h, ok := p.hosts[cfg]; ok {
+		h.Reset(seed)
+		return h
+	}
+	h := hierarchy.NewHost(cfg, seed)
+	if p.hosts == nil {
+		p.hosts = make(map[hierarchy.Config]*hierarchy.Host)
+	}
+	p.hosts[cfg] = h
+	return h
+}
+
+// RunTrials executes n trials of fn across a worker pool and returns the
+// samples in trial order. workers <= 0 selects GOMAXPROCS. Per-trial
+// seeds are drawn from the splitmix64 stream rooted at seed, so the
+// result is independent of the worker count and of scheduling order.
+func RunTrials(n, workers int, seed uint64, fn func(t *Trial) Sample) []Sample {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]Sample, n)
+	if workers == 1 {
+		pool := &hostPool{}
+		for i := 0; i < n; i++ {
+			out[i] = fn(&Trial{Index: i, Seed: xrand.Stream(seed, uint64(i)), pool: pool})
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool := &hostPool{}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(&Trial{Index: i, Seed: xrand.Stream(seed, uint64(i)), pool: pool})
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// subSeed derives an independent base seed for one labelled sub-run of an
+// experiment (e.g. one scenario of table6), so that separate RunTrials
+// calls within a report never share trial seeds.
+func subSeed(seed uint64, labels ...string) uint64 {
+	h := uint64(1469598103934665603) // FNV-64 offset basis
+	for _, l := range labels {
+		for i := 0; i < len(l); i++ {
+			h = (h ^ uint64(l[i])) * 1099511628211
+		}
+		h = (h ^ '/') * 1099511628211
+	}
+	return xrand.Stream(seed, h)
+}
+
+// Aggregation helpers shared by the runners.
+
+// successRate returns the fraction of samples with OK set.
+func successRate(samples []Sample) float64 {
+	var c stats.Counter
+	for _, s := range samples {
+		c.Record(s.OK)
+	}
+	return c.Rate()
+}
+
+// sampleValues returns every sample's primary scalar.
+func sampleValues(samples []Sample) []float64 {
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i] = s.Value
+	}
+	return out
+}
+
+// okValues returns the primary scalars of successful samples only.
+func okValues(samples []Sample) []float64 {
+	var out []float64
+	for _, s := range samples {
+		if s.OK {
+			out = append(out, s.Value)
+		}
+	}
+	return out
+}
+
+// concatSeries concatenates the k-th series of every sample, in trial
+// order.
+func concatSeries(samples []Sample, k int) []float64 {
+	var out []float64
+	for _, s := range samples {
+		if k < len(s.Series) {
+			out = append(out, s.Series[k]...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestRunTrialsOrderAndSeeds(t *testing.T) {
+	const n, base = 37, uint64(99)
+	samples := RunTrials(n, 5, base, func(tr *Trial) Sample {
+		if tr.Seed != xrand.Stream(base, uint64(tr.Index)) {
+			t.Errorf("trial %d seed %#x, want stream value", tr.Index, tr.Seed)
+		}
+		return Sample{Value: float64(tr.Index), OK: tr.Index%2 == 0}
+	})
+	if len(samples) != n {
+		t.Fatalf("got %d samples, want %d", len(samples), n)
+	}
+	for i, s := range samples {
+		if s.Value != float64(i) {
+			t.Fatalf("sample %d carries value %v: results out of trial order", i, s.Value)
+		}
+	}
+	if got := successRate(samples); got != 19.0/37.0 {
+		t.Errorf("successRate = %v", got)
+	}
+}
+
+func TestRunTrialsWorkerCountInvariance(t *testing.T) {
+	// A trial whose output depends only on its seed must yield identical
+	// sample slices at every worker count.
+	run := func(workers int) []Sample {
+		return RunTrials(23, workers, 4242, func(tr *Trial) Sample {
+			r := xrand.New(tr.Seed)
+			return Sample{OK: r.Bool(), Value: r.Float64(), Extra: []float64{float64(r.Intn(1000))}}
+		})
+	}
+	want := run(1)
+	for _, w := range []int{2, 4, 8} {
+		if got := run(w); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d produced different samples", w)
+		}
+	}
+}
+
+func TestRunTrialsEdgeCases(t *testing.T) {
+	if s := RunTrials(0, 4, 1, func(*Trial) Sample { return Sample{} }); s != nil {
+		t.Errorf("n=0 should return nil, got %v", s)
+	}
+	// workers beyond n must not deadlock or drop trials.
+	s := RunTrials(2, 16, 1, func(tr *Trial) Sample { return Sample{OK: true} })
+	if len(s) != 2 || !s[0].OK || !s[1].OK {
+		t.Errorf("short run mishandled: %v", s)
+	}
+}
+
+func TestSubSeedIndependence(t *testing.T) {
+	a := subSeed(1, "table6", "PageOffset")
+	b := subSeed(1, "table6", "WholeSys")
+	c := subSeed(2, "table6", "PageOffset")
+	if a == b || a == c || b == c {
+		t.Fatalf("subSeed collisions: %#x %#x %#x", a, b, c)
+	}
+	if a != subSeed(1, "table6", "PageOffset") {
+		t.Fatal("subSeed is not deterministic")
+	}
+}
+
+// TestReportDeterminism is the engine's contract test: the same seed must
+// yield byte-identical report rows whether trials run sequentially or on
+// a parallel worker pool sharing pooled (Reset) hosts.
+func TestReportDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	for _, tc := range []struct {
+		id     string
+		runner Runner
+	}{{"table3", Table3}, {"fig3", Figure3}} {
+		seq := tc.runner(Options{Seed: 11, Trials: 3, Workers: 1})
+		par := tc.runner(Options{Seed: 11, Trials: 3, Workers: 8})
+		if !reflect.DeepEqual(seq.Rows, par.Rows) {
+			t.Errorf("%s: workers=1 and workers=8 rows differ:\n%v\nvs\n%v", tc.id, seq.Rows, par.Rows)
+		}
+		if !reflect.DeepEqual(seq.Notes, par.Notes) {
+			t.Errorf("%s: notes differ across worker counts", tc.id)
+		}
+	}
+}

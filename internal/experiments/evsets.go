@@ -32,8 +32,8 @@ func table3Algos() []evset.Pruner {
 
 // singleSetTrial builds one SF eviction set without candidate filtering
 // (the Table 3 protocol) and returns success and duration.
-func singleSetTrial(cfg hierarchy.Config, algo evset.Pruner, seed uint64, opts evset.Options) (bool, clock.Cycles) {
-	h := hierarchy.NewHost(cfg, seed)
+func singleSetTrial(t *Trial, cfg hierarchy.Config, algo evset.Pruner, seed uint64, opts evset.Options) (bool, clock.Cycles) {
+	h := t.Host(cfg, seed)
 	e := evset.NewEnv(h, seed^0xe0f)
 	cands := evset.NewCandidates(e, evset.DefaultPoolSize(cfg), 0)
 	ta := cands.Addrs[0]
@@ -59,25 +59,32 @@ func Table3(o Options) *Report {
 	if o.Full {
 		n = trials(o, 8)
 	}
+	type cell struct {
+		env  string
+		cfg  hierarchy.Config
+		algo evset.Pruner
+	}
+	var cells []cell
 	for _, env := range []struct {
 		name string
 		cfg  hierarchy.Config
 	}{{"local", localConstructionConfig(o, false)}, {"cloud", cloudConstructionConfig(o, false)}} {
 		for _, algo := range table3Algos() {
-			var times []float64
-			var succ stats.Counter
-			for i := 0; i < n; i++ {
-				seed := o.Seed + uint64(i)*1000003 + uint64(len(algo.Name()))
-				ok, d := singleSetTrial(env.cfg, algo, seed, evset.DefaultOptions())
-				succ.Record(ok)
-				times = append(times, float64(d))
-			}
-			s := stats.Summarize(times)
-			rep.Rows = append(rep.Rows, []string{
-				env.name, algo.Name(), pct(succ.Rate()),
-				ms(s.Mean), ms(s.Stddev), ms(s.Median), fmt.Sprint(n),
-			})
+			cells = append(cells, cell{env.name, env.cfg, algo})
 		}
+	}
+	samples := RunTrials(len(cells)*n, o.Workers, subSeed(o.Seed, "table3"), func(t *Trial) Sample {
+		c := cells[t.Index/n]
+		ok, d := singleSetTrial(t, c.cfg, c.algo, t.Seed, evset.DefaultOptions())
+		return Sample{OK: ok, Value: float64(d)}
+	})
+	for ci, c := range cells {
+		cs := samples[ci*n : (ci+1)*n]
+		s := stats.Summarize(sampleValues(cs))
+		rep.Rows = append(rep.Rows, []string{
+			c.env, c.algo.Name(), pct(successRate(cs)),
+			ms(s.Mean), ms(s.Stddev), ms(s.Median), fmt.Sprint(n),
+		})
 	}
 	rep.Notes = append(rep.Notes,
 		"shape to check: every algorithm degrades on cloud; Ps/PsOp collapse (sequential TestEviction); GtOp beats Gt")
@@ -96,11 +103,16 @@ func Figure2(o Options) *Report {
 			"Cloud Run: 11.5 accesses/ms/set;  quiescent local: 0.29 accesses/ms/set",
 		},
 	}
-	for _, env := range []struct {
+	envs := []struct {
 		name string
 		cfg  hierarchy.Config
-	}{{"local", localConfig(o)}, {"cloud", cloudConfig(o)}} {
-		gaps := collectGaps(env.cfg, o.Seed, trials(o, 1000))
+	}{{"local", localConfig(o)}, {"cloud", cloudConfig(o)}}
+	samples := RunTrials(len(envs), o.Workers, subSeed(o.Seed, "fig2"), func(t *Trial) Sample {
+		gaps := collectGaps(t, envs[t.Index].cfg, t.Seed, trials(o, 1000))
+		return Sample{Series: [][]float64{gaps}}
+	})
+	for i, env := range envs {
+		gaps := samples[i].Series[0]
 		if len(gaps) < 2 {
 			rep.Rows = append(rep.Rows, []string{env.name, "~0", "-", "-", "-", fmt.Sprint(len(gaps))})
 			continue
@@ -117,8 +129,8 @@ func Figure2(o Options) *Report {
 	return rep
 }
 
-func collectGaps(cfg hierarchy.Config, seed uint64, want int) []float64 {
-	h := hierarchy.NewHost(cfg, seed)
+func collectGaps(t *Trial, cfg hierarchy.Config, seed uint64, want int) []float64 {
+	h := t.Host(cfg, seed)
 	e := evset.NewEnv(h, seed^0x9a9)
 	cands := evset.NewCandidates(e, evset.DefaultPoolSize(cfg), 0)
 	res := evset.BuildSF(e, evset.BinSearch{}, cands.Addrs[0], cands.Addrs[1:], evset.DefaultOptions())
@@ -145,7 +157,8 @@ func collectGaps(cfg hierarchy.Config, seed uint64, want int) []float64 {
 }
 
 // Figure3 measures TestEviction's execution time for the parallel and
-// sequential implementations across candidate-set sizes U..11U.
+// sequential implementations across candidate-set sizes U..11U. Each
+// size runs as one trial on its own host, so sizes measure concurrently.
 func Figure3(o Options) *Report {
 	rep := &Report{
 		ID:     "fig3",
@@ -156,14 +169,15 @@ func Figure3(o Options) *Report {
 		},
 	}
 	cfg := cloudConstructionConfig(o, false)
-	h := hierarchy.NewHost(cfg, o.Seed)
-	e := evset.NewEnv(h, o.Seed^0xf13)
 	u := cfg.LLCUncertainty()
-	pool := evset.NewCandidates(e, 11*u+1, 0)
-	ta := pool.Addrs[0]
+	mults := []int{1, 3, 5, 7, 9, 11}
 	reps := trials(o, 30)
-	for _, mult := range []int{1, 3, 5, 7, 9, 11} {
-		nc := mult * u
+	samples := RunTrials(len(mults), o.Workers, subSeed(o.Seed, "fig3"), func(t *Trial) Sample {
+		h := t.Host(cfg, t.Seed)
+		e := evset.NewEnv(h, t.Seed^0xf13)
+		pool := evset.NewCandidates(e, 11*u+1, 0)
+		ta := pool.Addrs[0]
+		nc := mults[t.Index] * u
 		var par, seq []float64
 		for i := 0; i < reps; i++ {
 			t0 := h.Clock().Now()
@@ -175,9 +189,13 @@ func Figure3(o Options) *Report {
 			e.TestEviction(evset.TargetLLC, ta, pool.Addrs[1:], nc, false)
 			seq = append(seq, float64(h.Clock().Now()-t0))
 		}
-		p, s := stats.Mean(par), stats.Mean(seq)
+		return Sample{Series: [][]float64{par, seq}}
+	})
+	for i, mult := range mults {
+		p := stats.Mean(samples[i].Series[0])
+		s := stats.Mean(samples[i].Series[1])
 		rep.Rows = append(rep.Rows, []string{
-			fmt.Sprintf("%d (%dU)", nc, mult), us(p), us(s), fmt.Sprintf("%.1fx", s/p),
+			fmt.Sprintf("%d (%dU)", mult*u, mult), us(p), us(s), fmt.Sprintf("%.1fx", s/p),
 		})
 	}
 	rep.Notes = append(rep.Notes, "shape to check: order-of-magnitude gap, both growing with N")
@@ -230,24 +248,44 @@ func Table4(o Options) *Report {
 		cfg  hierarchy.Config
 	}{{"local", localConstructionConfig(o, true)}, {"cloud", cloudConstructionConfig(o, true)}}
 
+	type cell struct {
+		env      string
+		cfg      hierarchy.Config
+		scenario string
+		algo     evset.Pruner
+		trials   int
+	}
+	var cells []cell
+	var jobCell []int // flat trial index -> cell index
 	for _, env := range envs {
 		for _, sc := range scens {
 			for _, algo := range table4Algos() {
-				var times []float64
-				var rates []float64
+				ci := len(cells)
+				cells = append(cells, cell{env.name, env.cfg, sc.name, algo, sc.trials})
 				for i := 0; i < sc.trials; i++ {
-					seed := o.Seed + uint64(i)*7919 + uint64(len(algo.Name())+len(sc.name))
-					rate, d := table4Trial(env.cfg, algo, sc.name, seed)
-					rates = append(rates, rate)
-					times = append(times, float64(d))
+					jobCell = append(jobCell, ci)
 				}
-				s := stats.Summarize(times)
-				rep.Rows = append(rep.Rows, []string{
-					env.name, sc.name, table4Name(algo), pct(stats.Mean(rates)),
-					fmtDur(s.Mean), fmtDur(s.Median), fmt.Sprint(sc.trials),
-				})
 			}
 		}
+	}
+	samples := RunTrials(len(jobCell), o.Workers, subSeed(o.Seed, "table4"), func(t *Trial) Sample {
+		c := cells[jobCell[t.Index]]
+		rate, d := table4Trial(t, c.cfg, c.algo, c.scenario, t.Seed)
+		return Sample{Value: float64(d), Extra: []float64{rate}}
+	})
+	off := 0
+	for _, c := range cells {
+		cs := samples[off : off+c.trials]
+		off += c.trials
+		var rates []float64
+		for _, s := range cs {
+			rates = append(rates, s.Extra[0])
+		}
+		s := stats.Summarize(sampleValues(cs))
+		rep.Rows = append(rep.Rows, []string{
+			c.env, c.scenario, table4Name(c.algo), pct(stats.Mean(rates)),
+			fmtDur(s.Mean), fmtDur(s.Median), fmt.Sprint(c.trials),
+		})
 	}
 	rep.Notes = append(rep.Notes,
 		"shape to check: filtering slashes times vs table3; BinS fastest in bulk scenarios; success stays high on cloud")
@@ -255,8 +293,8 @@ func Table4(o Options) *Report {
 }
 
 // table4Trial runs one scenario trial and returns (success rate, time).
-func table4Trial(cfg hierarchy.Config, algo evset.Pruner, scenario string, seed uint64) (float64, clock.Cycles) {
-	h := hierarchy.NewHost(cfg, seed)
+func table4Trial(t *Trial, cfg hierarchy.Config, algo evset.Pruner, scenario string, seed uint64) (float64, clock.Cycles) {
+	h := t.Host(cfg, seed)
 	e := evset.NewEnv(h, seed^0x4b1d)
 	opt := evset.BulkOptions{Algo: algo, PerSet: evset.FilteredOptions()}
 	rng := xrand.New(seed ^ 0x0ff)
@@ -266,7 +304,7 @@ func table4Trial(cfg hierarchy.Config, algo evset.Pruner, scenario string, seed 
 	case "SingleSet":
 		res, _ := evset.BuildSingle(e, cands.Addrs[0], cands, opt)
 		ok := 0.0
-		if res.OK && res.Set.Verified(e.Main, cfg.SFWays) {
+		if res.OK && res.Set != nil && res.Set.Verified(e.Main, cfg.SFWays) {
 			ok = 1
 		}
 		return ok, res.Duration
@@ -306,29 +344,42 @@ func FilterOverhead(o Options) *Report {
 		},
 	}
 	cfg := cloudConstructionConfig(o, true)
-	h := hierarchy.NewHost(cfg, o.Seed)
-	e := evset.NewEnv(h, o.Seed^0x71f)
-	cands := evset.NewCandidates(e, evset.DefaultPoolSize(cfg), 0)
+	samples := RunTrials(1, o.Workers, subSeed(o.Seed, "filter"), func(t *Trial) Sample {
+		h := t.Host(cfg, t.Seed)
+		e := evset.NewEnv(h, t.Seed^0x71f)
+		cands := evset.NewCandidates(e, evset.DefaultPoolSize(cfg), 0)
 
-	t0 := h.Clock().Now()
-	l2set, err := evset.BuildL2(e, evset.BinSearch{}, cands.Addrs[0], cands.Addrs[1:], evset.FilteredOptions())
-	if err != nil {
+		t0 := h.Clock().Now()
+		l2set, err := evset.BuildL2(e, evset.BinSearch{}, cands.Addrs[0], cands.Addrs[1:], evset.FilteredOptions())
+		if err != nil {
+			return Sample{}
+		}
+		members := evset.FilterByL2(e, l2set, cands.Addrs[1:])
+		oneFilter := float64(h.Clock().Now() - t0)
+
+		groups, fstats := evset.PartitionByL2(e, cands.Addrs, evset.FilteredOptions())
+		keep := 0
+		for _, g := range groups {
+			keep += len(g.Members)
+		}
+		return Sample{OK: true, Extra: []float64{
+			oneFilter,
+			float64(len(members)) / float64(len(cands.Addrs)),
+			float64(fstats.Groups),
+			float64(fstats.Duration),
+			float64(keep),
+		}}
+	})
+	s := samples[0]
+	if !s.OK {
 		rep.Rows = append(rep.Rows, []string{"one filtering", "L2 set construction failed"})
 		return rep
 	}
-	members := evset.FilterByL2(e, l2set, cands.Addrs[1:])
-	oneFilter := float64(h.Clock().Now() - t0)
-
-	groups, fstats := evset.PartitionByL2(e, cands.Addrs, evset.FilteredOptions())
-	keep := 0
-	for _, g := range groups {
-		keep += len(g.Members)
-	}
 	rep.Rows = append(rep.Rows,
-		[]string{"one filtering (build L2 set + filter pool)", ms(oneFilter)},
-		[]string{"filtered pool fraction", fmt.Sprintf("%.1f%% (expect ~%.1f%%)", 100*float64(len(members))/float64(len(cands.Addrs)), 100.0/float64(cfg.L2Uncertainty()))},
-		[]string{fmt.Sprintf("full partition (%d groups = U_L2)", fstats.Groups), ms(float64(fstats.Duration))},
-		[]string{"WholeSys filtering executions", fmt.Sprintf("%d (δ-shift reuse across 64 offsets)", fstats.Groups)},
+		[]string{"one filtering (build L2 set + filter pool)", ms(s.Extra[0])},
+		[]string{"filtered pool fraction", fmt.Sprintf("%.1f%% (expect ~%.1f%%)", 100*s.Extra[1], 100.0/float64(cfg.L2Uncertainty()))},
+		[]string{fmt.Sprintf("full partition (%d groups = U_L2)", int(s.Extra[2])), ms(s.Extra[3])},
+		[]string{"WholeSys filtering executions", fmt.Sprintf("%d (δ-shift reuse across 64 offsets)", int(s.Extra[2]))},
 	)
 	return rep
 }
@@ -358,27 +409,38 @@ func IceLake(o Options) *Report {
 	}
 	algos := []evset.Pruner{evset.GroupTesting{EarlyTermination: true}, evset.GroupTesting{}, evset.BinSearch{}}
 	n := trials(o, 10)
+	type cell struct {
+		mach   string
+		cfg    hierarchy.Config
+		target string
+		algo   evset.Pruner
+	}
+	var cells []cell
 	for _, mach := range machines {
 		for _, target := range []string{"SF", "L2"} {
-			means := map[string]float64{}
 			for _, algo := range algos {
-				var times []float64
-				for i := 0; i < n; i++ {
-					seed := o.Seed + uint64(i)*104729
-					d, ok := iceLakeTrial(mach.cfg, algo, target, seed)
-					if ok {
-						times = append(times, float64(d))
-					}
-				}
-				means[algo.Name()] = stats.Mean(times)
+				cells = append(cells, cell{mach.name, mach.cfg, target, algo})
 			}
-			for _, algo := range algos {
-				ratio := means[algo.Name()] / means["BinS"]
-				rep.Rows = append(rep.Rows, []string{
-					mach.name, target, algo.Name(), ms(means[algo.Name()]),
-					fmt.Sprintf("%.2f", ratio), fmt.Sprint(n),
-				})
-			}
+		}
+	}
+	samples := RunTrials(len(cells)*n, o.Workers, subSeed(o.Seed, "icelake"), func(t *Trial) Sample {
+		c := cells[t.Index/n]
+		d, ok := iceLakeTrial(t, c.cfg, c.algo, c.target, t.Seed)
+		return Sample{OK: ok, Value: float64(d)}
+	})
+	for ci := 0; ci < len(cells); ci += len(algos) {
+		means := map[string]float64{}
+		for ai, algo := range algos {
+			cs := samples[(ci+ai)*n : (ci+ai+1)*n]
+			means[algo.Name()] = stats.Mean(okValues(cs))
+		}
+		for ai, algo := range algos {
+			c := cells[ci+ai]
+			ratio := means[algo.Name()] / means["BinS"]
+			rep.Rows = append(rep.Rows, []string{
+				c.mach, c.target, algo.Name(), ms(means[algo.Name()]),
+				fmt.Sprintf("%.2f", ratio), fmt.Sprint(n),
+			})
 		}
 	}
 	rep.Notes = append(rep.Notes, "shape to check: Gt/BinS and GtOp/BinS ratios grow from Skylake-SP to Ice Lake-SP, most strongly for the L2")
@@ -386,8 +448,8 @@ func IceLake(o Options) *Report {
 }
 
 // iceLakeTrial times a single filtered SF or L2 eviction-set pruning.
-func iceLakeTrial(cfg hierarchy.Config, algo evset.Pruner, target string, seed uint64) (clock.Cycles, bool) {
-	h := hierarchy.NewHost(cfg, seed)
+func iceLakeTrial(t *Trial, cfg hierarchy.Config, algo evset.Pruner, target string, seed uint64) (clock.Cycles, bool) {
+	h := t.Host(cfg, seed)
 	e := evset.NewEnv(h, seed^0x1ce)
 	cands := evset.NewCandidates(e, evset.DefaultPoolSize(cfg), 0)
 	ta := cands.Addrs[0]

@@ -4,9 +4,24 @@
 // Options.Full), and emits a report with the measured rows next to the
 // paper's published values so the reproduction's *shape* can be checked:
 // orderings, ratios and crossovers rather than absolute numbers.
+//
+// Every runner executes its trials through the parallel trial engine in
+// engine.go: RunTrials fans independent trials out over a worker pool
+// (Options.Workers, default GOMAXPROCS) and recycles simulated hosts via
+// hierarchy.Host.Reset so steady-state trials allocate near-zero.
+//
+// Determinism contract: for a fixed Options.Seed, a report's Rows are
+// byte-identical for every worker count. Each trial derives all of its
+// randomness from a per-trial seed drawn from a splitmix64 stream indexed
+// by trial number (xrand.Stream), touches no simulated state outside its
+// own host, and a pooled host reset to a seed replays exactly the
+// behaviour of a freshly built host with that seed. Wall-clock timing is
+// therefore reported out-of-band (by cmd/llcrepro, on stderr), never in
+// the Report itself.
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -25,17 +40,29 @@ type Options struct {
 	Full bool
 	// Trials overrides the default trial count (0 keeps the default).
 	Trials int
+	// Workers is the number of parallel trial workers (0 selects
+	// GOMAXPROCS, 1 forces sequential execution). Reports are identical
+	// for every value; only wall-clock time changes.
+	Workers int
 }
 
 // Report is a rendered experiment result.
 type Report struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 	// Paper lines quote what the paper reports, for side-by-side reading.
-	Paper []string
-	Notes []string
+	Paper []string `json:"paper,omitempty"`
+	Notes []string `json:"notes,omitempty"`
+}
+
+// FprintJSON renders the report as indented JSON, the machine-readable
+// sibling of Fprint.
+func (r *Report) FprintJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
 }
 
 // Fprint renders the report as an aligned text table.

@@ -23,8 +23,8 @@ func init() {
 // covertSetup builds one attacker environment plus the sets a covert
 // experiment needs, using privileged congruence for the alt/sender lines
 // (sender and receiver agree on the target set, §6.1).
-func covertSetup(cfg hierarchy.Config, seed uint64) (*evset.Env, []memory.VAddr, []memory.VAddr, memory.PAddr, bool) {
-	h := hierarchy.NewHost(cfg, seed)
+func covertSetup(t *Trial, cfg hierarchy.Config, seed uint64) (*evset.Env, []memory.VAddr, []memory.VAddr, memory.PAddr, bool) {
+	h := t.Host(cfg, seed)
 	e := evset.NewEnv(h, seed^0xc0173)
 	cands := evset.NewCandidates(e, 2*evset.DefaultPoolSize(cfg), 0)
 	res := evset.BuildSF(e, evset.BinSearch{}, cands.Addrs[0], cands.Addrs[1:], evset.DefaultOptions())
@@ -62,19 +62,22 @@ func Table5(o Options) *Report {
 		},
 	}
 	reps := trials(o, 6)
-	for _, strat := range []probe.Strategy{probe.PSFlush, probe.PSAlt, probe.Parallel} {
-		var prime, prob []float64
-		for i := 0; i < reps; i++ {
-			seed := o.Seed + uint64(i)*31 + uint64(strat)
-			e, lines, alt, sender, ok := covertSetup(cloudConfig(o), seed)
-			if !ok {
-				continue
-			}
-			m := probe.NewMonitor(e, strat, lines).WithAlt(alt)
-			res := probe.RunCovertChannel(e, m, 2, sender, 50000, 60)
-			prime = append(prime, res.PrimeLatency...)
-			prob = append(prob, res.ProbeLatency...)
+	strats := []probe.Strategy{probe.PSFlush, probe.PSAlt, probe.Parallel}
+	cfg := cloudConfig(o)
+	samples := RunTrials(len(strats)*reps, o.Workers, subSeed(o.Seed, "table5"), func(t *Trial) Sample {
+		strat := strats[t.Index/reps]
+		e, lines, alt, sender, ok := covertSetup(t, cfg, t.Seed)
+		if !ok {
+			return Sample{}
 		}
+		m := probe.NewMonitor(e, strat, lines).WithAlt(alt)
+		res := probe.RunCovertChannel(e, m, 2, sender, 50000, 60)
+		return Sample{OK: true, Series: [][]float64{res.PrimeLatency, res.ProbeLatency}}
+	})
+	for si, strat := range strats {
+		cs := samples[si*reps : (si+1)*reps]
+		prime := concatSeries(cs, 0)
+		prob := concatSeries(cs, 1)
 		rep.Rows = append(rep.Rows, []string{
 			strat.String(),
 			fmt.Sprintf("%.0f", stats.Mean(prime)), fmt.Sprintf("%.0f", stats.Stddev(prime)),
@@ -97,23 +100,28 @@ func Figure6(o Options) *Report {
 		},
 	}
 	intervals := []clock.Cycles{1000, 2000, 5000, 7000, 10000, 50000, 100000}
+	strats := []probe.Strategy{probe.Parallel, probe.PSFlush, probe.PSAlt}
 	count := trials(o, 300)
 	reps := 3
-	for _, iv := range intervals {
+	cfg := cloudConfig(o)
+	samples := RunTrials(len(intervals)*len(strats)*reps, o.Workers, subSeed(o.Seed, "fig6"), func(t *Trial) Sample {
+		cellIdx := t.Index / reps
+		iv := intervals[cellIdx/len(strats)]
+		strat := strats[cellIdx%len(strats)]
+		e, lines, alt, sender, ok := covertSetup(t, cfg, t.Seed)
+		if !ok {
+			return Sample{}
+		}
+		m := probe.NewMonitor(e, strat, lines).WithAlt(alt)
+		res := probe.RunCovertChannel(e, m, 2, sender, iv, count)
+		return Sample{OK: true, Value: res.DetectionRate}
+	})
+	for ii, iv := range intervals {
 		row := []string{fmt.Sprint(iv)}
-		for _, strat := range []probe.Strategy{probe.Parallel, probe.PSFlush, probe.PSAlt} {
-			var rates []float64
-			for r := 0; r < reps; r++ {
-				seed := o.Seed + uint64(iv) + uint64(r)*131 + uint64(strat)*7
-				e, lines, alt, sender, ok := covertSetup(cloudConfig(o), seed)
-				if !ok {
-					continue
-				}
-				m := probe.NewMonitor(e, strat, lines).WithAlt(alt)
-				res := probe.RunCovertChannel(e, m, 2, sender, iv, count)
-				rates = append(rates, res.DetectionRate)
-			}
-			row = append(row, pct(stats.Mean(rates)))
+		for si := range strats {
+			ci := ii*len(strats) + si
+			cs := samples[ci*reps : (ci+1)*reps]
+			row = append(row, pct(stats.Mean(okValues(cs))))
 		}
 		rep.Rows = append(rep.Rows, row)
 	}
@@ -134,22 +142,29 @@ func AblationPolicy(o Options) *Report {
 		name string
 		kind cache.PolicyKind
 	}{{"LRU", cache.TrueLRU}, {"SRRIP", cache.SRRIP}, {"QLRU", cache.QLRU}}
-	for _, p := range pols {
+	strats := []probe.Strategy{probe.Parallel, probe.PSFlush}
+	const reps = 3
+	count := trials(o, 250)
+	samples := RunTrials(len(pols)*len(strats)*reps, o.Workers, subSeed(o.Seed, "abl-policy"), func(t *Trial) Sample {
+		cellIdx := t.Index / reps
+		p := pols[cellIdx/len(strats)]
+		strat := strats[cellIdx%len(strats)]
+		cfg := cloudConfig(o)
+		cfg.SFPolicy = p.kind
+		e, lines, alt, sender, ok := covertSetup(t, cfg, t.Seed)
+		if !ok {
+			return Sample{}
+		}
+		m := probe.NewMonitor(e, strat, lines).WithAlt(alt)
+		res := probe.RunCovertChannel(e, m, 2, sender, 5000, count)
+		return Sample{OK: true, Value: res.DetectionRate}
+	})
+	for pi, p := range pols {
 		row := []string{p.name}
-		for _, strat := range []probe.Strategy{probe.Parallel, probe.PSFlush} {
-			cfg := cloudConfig(o)
-			cfg.SFPolicy = p.kind
-			var rates []float64
-			for r := 0; r < 3; r++ {
-				e, lines, alt, sender, ok := covertSetup(cfg, o.Seed+uint64(r)*17+uint64(strat))
-				if !ok {
-					continue
-				}
-				m := probe.NewMonitor(e, strat, lines).WithAlt(alt)
-				res := probe.RunCovertChannel(e, m, 2, sender, 5000, trials(o, 250))
-				rates = append(rates, res.DetectionRate)
-			}
-			row = append(row, pct(stats.Mean(rates)))
+		for si := range strats {
+			ci := pi*len(strats) + si
+			cs := samples[ci*reps : (ci+1)*reps]
+			row = append(row, pct(stats.Mean(okValues(cs))))
 		}
 		rep.Rows = append(rep.Rows, row)
 	}
@@ -169,30 +184,41 @@ func AblationNoise(o Options) *Report {
 		Title:  "Noise-rate sweep: BinS+filter construction success and Parallel detection rate",
 		Header: []string{"noise acc/ms/set", "BinS succ", "detect@10k"},
 	}
-	for _, rate := range []float64{0.29, 1, 3, 6, 11.5, 23, 46} {
-		cfg := localConfig(o).WithNoiseRate(rate * constructionNoiseScale(localConfig(o), true))
-		var succ stats.Counter
-		n := trials(o, 8)
-		for i := 0; i < n; i++ {
-			seed := o.Seed + uint64(i)*911 + uint64(rate*10)
-			h := hierarchy.NewHost(cfg, seed)
-			e := evset.NewEnv(h, seed^0xab1)
+	noiseRates := []float64{0.29, 1, 3, 6, 11.5, 23, 46}
+	n := trials(o, 8)
+	const covertReps = 2
+	count := trials(o, 200)
+	perRate := n + covertReps // n construction trials then covertReps detection trials
+	cfgFor := func(rate float64) hierarchy.Config {
+		return localConfig(o).WithNoiseRate(rate * constructionNoiseScale(localConfig(o), true))
+	}
+	samples := RunTrials(len(noiseRates)*perRate, o.Workers, subSeed(o.Seed, "abl-noise"), func(t *Trial) Sample {
+		rate := noiseRates[t.Index/perRate]
+		cfg := cfgFor(rate)
+		if t.Index%perRate < n {
+			// Construction trial.
+			h := t.Host(cfg, t.Seed)
+			e := evset.NewEnv(h, t.Seed^0xab1)
 			cands := evset.NewCandidates(e, evset.DefaultPoolSize(cfg), 0)
 			res, _ := evset.BuildSingle(e, cands.Addrs[0], cands, evset.BulkOptions{Algo: evset.BinSearch{}, PerSet: evset.FilteredOptions()})
-			succ.Record(res.OK && res.Set != nil && res.Set.Verified(e.Main, cfg.SFWays))
+			ok := res.OK && res.Set != nil && res.Set.Verified(e.Main, cfg.SFWays)
+			return Sample{OK: ok}
 		}
-		var rates []float64
-		for r := 0; r < 2; r++ {
-			e, lines, alt, sender, ok := covertSetup(cfg, o.Seed+uint64(r)*13+uint64(rate))
-			if !ok {
-				continue
-			}
-			m := probe.NewMonitor(e, probe.Parallel, lines).WithAlt(alt)
-			res := probe.RunCovertChannel(e, m, 2, sender, 10000, trials(o, 200))
-			rates = append(rates, res.DetectionRate)
+		// Detection trial.
+		e, lines, alt, sender, ok := covertSetup(t, cfg, t.Seed)
+		if !ok {
+			return Sample{}
 		}
+		m := probe.NewMonitor(e, probe.Parallel, lines).WithAlt(alt)
+		res := probe.RunCovertChannel(e, m, 2, sender, 10000, count)
+		return Sample{OK: true, Value: res.DetectionRate}
+	})
+	for ri, rate := range noiseRates {
+		rs := samples[ri*perRate : (ri+1)*perRate]
+		cons := rs[:n]
+		det := rs[n:]
 		rep.Rows = append(rep.Rows, []string{
-			fmt.Sprintf("%.2f", rate), pct(succ.Rate()), pct(stats.Mean(rates)),
+			fmt.Sprintf("%.2f", rate), pct(successRate(cons)), pct(stats.Mean(okValues(det))),
 		})
 	}
 	return rep

@@ -80,6 +80,38 @@ func NewHost(cfg Config, seed uint64) *Host {
 	return h
 }
 
+// Reset restores the host to the state NewHost(h.Config(), seed) would
+// produce, reusing the cores, LLC/SF slice arrays, memory frame pool and
+// noise bookkeeping instead of reallocating them. The sub-streams are
+// split from the seed in the same order as in NewHost (memory, clock,
+// policies), so a reset host replays the exact access-by-access behaviour
+// of a fresh one — the property the parallel trial engine's host pools
+// rely on for byte-identical reports. Agents and address spaces created
+// before the reset are invalidated and must be rebuilt.
+func (h *Host) Reset(seed uint64) {
+	rng := xrand.New(seed)
+	h.rng = rng
+	h.mem.Reset(rng.Split())
+	h.clk.Reset(h.cfg.TimerJitter, rng.Split())
+	polRng := rng.Split()
+	for i := range h.cores {
+		h.cores[i].l1.Reset(polRng)
+		h.cores[i].l2.Reset(polRng)
+	}
+	for s := range h.llc {
+		h.llc[s].Reset(polRng)
+		h.sf[s].Reset(polRng)
+	}
+	for i := range h.lastSync {
+		h.lastSync[i] = 0
+	}
+	h.noiseSeq = 0
+	h.sched.events = h.sched.events[:0]
+	h.sched.draining = false
+	h.NoiseEvents = 0
+	h.Accesses = 0
+}
+
 // Config returns the host's configuration.
 func (h *Host) Config() Config { return h.cfg }
 

@@ -89,6 +89,22 @@ func NewHost(bytes uint64, rng *xrand.Rand) *Host {
 // Frames returns the number of physical frames on the host.
 func (h *Host) Frames() uint64 { return h.frames }
 
+// Reset returns every frame to the pool and reshuffles it with rng,
+// restoring the state NewHost would produce with the same size and rng.
+// Address spaces created before the reset are invalidated — their pages
+// may alias newly handed-out frames — so callers must rebuild them.
+func (h *Host) Reset(rng *xrand.Rand) {
+	h.rng = rng
+	h.nextVictim = 0
+	for i := range h.freeList {
+		h.freeList[i] = uint64(i)
+	}
+	for i := len(h.freeList) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		h.freeList[i], h.freeList[j] = h.freeList[j], h.freeList[i]
+	}
+}
+
 // allocFrame pops one random frame from the pool.
 func (h *Host) allocFrame() uint64 {
 	if h.nextVictim >= len(h.freeList) {

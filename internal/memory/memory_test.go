@@ -147,3 +147,21 @@ func TestGuardGapBetweenMappings(t *testing.T) {
 		t.Fatalf("page count = %d", as.PageCount())
 	}
 }
+
+func TestHostResetReplaysFrameOrder(t *testing.T) {
+	fresh := NewHost(1<<20, xrand.New(3))
+	reused := NewHost(1<<20, xrand.New(44))
+	NewAddressSpace(reused).Map(17) // consume some frames
+	reused.Reset(xrand.New(3))
+
+	fa := NewAddressSpace(fresh)
+	ra := NewAddressSpace(reused)
+	fb, rb := fa.Map(32), ra.Map(32)
+	for p := 0; p < 32; p++ {
+		fpa := fa.Translate(fb + VAddr(p<<PageBits))
+		rpa := ra.Translate(rb + VAddr(p<<PageBits))
+		if fpa != rpa {
+			t.Fatalf("page %d: fresh frame %#x != reset frame %#x", p, fpa, rpa)
+		}
+	}
+}

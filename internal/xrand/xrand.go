@@ -28,6 +28,16 @@ func splitmix64(state *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Stream returns the i-th output of the splitmix64 stream rooted at base.
+// Neighbouring indices yield statistically unrelated values, so the stream
+// is suitable for deriving independent per-trial seeds: workers can pull
+// seed i without generating seeds 0..i-1 first, which keeps parallel and
+// sequential trial schedules on identical randomness.
+func Stream(base, i uint64) uint64 {
+	state := base + i*0x9e3779b97f4a7c15
+	return splitmix64(&state)
+}
+
 // New returns a generator seeded from the given seed.
 func New(seed uint64) *Rand {
 	r := &Rand{}

@@ -172,3 +172,24 @@ func TestBytesFills(t *testing.T) {
 		}
 	}
 }
+
+func TestStreamIsSplitmixSequence(t *testing.T) {
+	// Stream(base, i) must equal the i-th draw of a sequential splitmix64
+	// generator rooted at base, so random-access and sequential seed
+	// derivation agree.
+	const base = uint64(0xabcdef)
+	state := base
+	for i := uint64(0); i < 100; i++ {
+		want := splitmix64(&state)
+		if got := Stream(base, i); got != want {
+			t.Fatalf("Stream(%#x, %d) = %#x, want %#x", base, i, got, want)
+		}
+	}
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		seen[Stream(1, i)] = true
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("Stream collided: %d distinct of 1000", len(seen))
+	}
+}
