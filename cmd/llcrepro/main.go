@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -19,23 +21,36 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its streams and exit code surfaced, so the golden
+// regression test can execute the CLI in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("llcrepro", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp      = flag.String("exp", "", "experiment id to run (see -list)")
-		all      = flag.Bool("all", false, "run every experiment")
-		list     = flag.Bool("list", false, "list experiment ids")
-		full     = flag.Bool("full", false, "paper-scale geometry (slow)")
-		seed     = flag.Uint64("seed", 1, "deterministic seed")
-		trials   = flag.Int("trials", 0, "override trial counts (0 = default)")
-		parallel = flag.Int("parallel", 0, "trial workers per experiment (0 = GOMAXPROCS, 1 = sequential)")
-		asJSON   = flag.Bool("json", false, "emit reports as JSON instead of text tables")
+		exp      = fs.String("exp", "", "experiment id to run (see -list)")
+		all      = fs.Bool("all", false, "run every experiment")
+		list     = fs.Bool("list", false, "list experiment ids")
+		full     = fs.Bool("full", false, "paper-scale geometry (slow)")
+		seed     = fs.Uint64("seed", 1, "deterministic seed")
+		trials   = fs.Int("trials", 0, "override trial counts (0 = default)")
+		parallel = fs.Int("parallel", 0, "trial workers per experiment (0 = GOMAXPROCS, 1 = sequential)")
+		asJSON   = fs.Bool("json", false, "emit reports as JSON instead of text tables")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, l := range experiments.List() {
-			fmt.Println(l)
+			fmt.Fprintln(stdout, l)
 		}
-		return
+		return 0
 	}
 	opt := experiments.Options{Seed: *seed, Full: *full, Trials: *trials, Workers: *parallel}
 	ids := []string{}
@@ -45,27 +60,28 @@ func main() {
 	case *exp != "":
 		ids = []string{*exp}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: llcrepro -exp <id> | -all | -list")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: llcrepro -exp <id> | -all | -list")
+		return 2
 	}
 	for _, id := range ids {
 		r, ok := experiments.Lookup(id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", id)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "unknown experiment %q; try -list\n", id)
+			return 2
 		}
 		start := time.Now()
 		rep := r(opt)
 		// Wall time goes to stderr so stdout stays byte-identical across
 		// runs and worker counts (the determinism contract).
-		fmt.Fprintf(os.Stderr, "%s: wall time %s\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stderr, "%s: wall time %s\n", id, time.Since(start).Round(time.Millisecond))
 		if *asJSON {
-			if err := rep.FprintJSON(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+			if err := rep.FprintJSON(stdout); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
 			}
 			continue
 		}
-		rep.Fprint(os.Stdout)
+		rep.Fprint(stdout)
 	}
+	return 0
 }

@@ -1,0 +1,268 @@
+// Command llcsweep runs a configuration sweep: a declarative grid of
+// replacement policy x SF associativity x slice count x noise rate x
+// cell experiment, expanded by internal/sweep and executed on the
+// parallel trial engine. The aggregated artifact (JSON by default, CSV
+// with -csv) goes to stdout (or -o) and is byte-identical for every
+// -parallel value and across runs on the same architecture (float
+// summaries may differ by a last ulp between CPU architectures with
+// different fused-multiply-add behaviour), so committed artifacts diff
+// cleanly across changes.
+//
+// The grid comes either from comma-separated flags or from a JSON spec
+// file (-spec), which holds exactly the sweep.Spec structure:
+//
+//	{
+//	  "experiments": ["evset/bins", "probe/detect"],
+//	  "policies": ["LRU", "SRRIP", "QLRU"],
+//	  "sf_assocs": [8, 6],
+//	  "slices": [2, 4],
+//	  "noise_rates": [0.29, 11.5],
+//	  "trials": 10,
+//	  "seed": 1
+//	}
+//
+// Flags override spec-file fields; unset axes take defaults.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sweep"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("llcsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		specFile = fs.String("spec", "", "JSON sweep spec file (flags override its fields)")
+		exps     = fs.String("experiments", "", "comma-separated cell experiment ids (see -list)")
+		policies = fs.String("policies", "", "comma-separated replacement policies (LRU,Tree-PLRU,SRRIP,QLRU,Random)")
+		assocs   = fs.String("assocs", "", "comma-separated SF associativities (LLC follows one way below)")
+		slices   = fs.String("slices", "", "comma-separated LLC/SF slice counts")
+		noise    = fs.String("noise", "", "comma-separated noise rates in accesses/ms/set (0.29=local, 11.5=Cloud Run)")
+		trials   = fs.Int("trials", 0, "trials per cell (0 = default 10)")
+		seed     = fs.Uint64("seed", 1, "deterministic seed (an explicit 0 is honoured)")
+		parallel = fs.Int("parallel", 0, "trial workers (0 = GOMAXPROCS, 1 = sequential); never changes the artifact")
+		asCSV    = fs.Bool("csv", false, "emit CSV instead of JSON")
+		outFile  = fs.String("o", "", "write the artifact to a file instead of stdout")
+		list     = fs.Bool("list", false, "list cell experiment ids")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *list {
+		for _, l := range experiments.CellList() {
+			fmt.Fprintln(stdout, l)
+		}
+		return 0
+	}
+
+	var spec sweep.Spec
+	if *specFile != "" {
+		data, err := os.ReadFile(*specFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "llcsweep: %v\n", err)
+			return 2
+		}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			fmt.Fprintf(stderr, "llcsweep: spec %s: %v\n", *specFile, err)
+			return 2
+		}
+		// Reject trailing content (e.g. a second object from a bad merge):
+		// silently decoding only the first value would run a different
+		// grid than the file appears to declare.
+		if dec.More() {
+			fmt.Fprintf(stderr, "llcsweep: spec %s: trailing data after the spec object\n", *specFile)
+			return 2
+		}
+	}
+	var err error
+	if spec.Experiments, err = mergeStrings(spec.Experiments, *exps); err == nil {
+		spec.Policies, err = mergeStrings(spec.Policies, *policies)
+	}
+	if err == nil {
+		spec.SFAssocs, err = mergeInts(spec.SFAssocs, *assocs)
+	}
+	if err == nil {
+		spec.Slices, err = mergeInts(spec.Slices, *slices)
+	}
+	if err == nil {
+		spec.NoiseRates, err = mergeFloats(spec.NoiseRates, *noise)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "llcsweep: %v\n", err)
+		return 2
+	}
+	if *trials != 0 {
+		// Pass negative values through so sweep.Validate rejects them
+		// loudly instead of silently running the default trial count.
+		spec.Trials = *trials
+	}
+	// Seed precedence: an explicitly passed -seed (0 included — it is a
+	// legitimate seed) wins over a spec file; without a spec file the
+	// flag's default of 1 applies; a spec file's seed is always literal,
+	// so an artifact's embedded spec reproduces it exactly.
+	seedSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+	if seedSet || *specFile == "" {
+		spec.Seed = *seed
+	}
+
+	// Validate before touching the -o path: a bad spec must not truncate
+	// an existing artifact. (Run re-normalizes/validates; both are
+	// idempotent and cheap.)
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		// Usage error, like a bad flag: exit 2 (llcrepro's convention),
+		// reserving 1 for failures of the sweep itself.
+		fmt.Fprintf(stderr, "llcsweep: %v\n", err)
+		return 2
+	}
+	// With -o, write to a temp file in the target directory and rename
+	// into place only on full success: creating it up front fails fast on
+	// an unwritable path (before hours of grid compute), and a sweep or
+	// write error leaves any previous artifact at that path untouched.
+	out := stdout
+	var file *os.File
+	var tmpPath string
+	if *outFile != "" {
+		f, err := os.CreateTemp(filepath.Dir(*outFile), filepath.Base(*outFile)+".tmp-*")
+		if err != nil {
+			fmt.Fprintf(stderr, "llcsweep: %v\n", err)
+			return 1
+		}
+		file = f
+		tmpPath = f.Name()
+		out = f
+	}
+	// fail is the single cleanup path for every post-open error: drop the
+	// temp file (Close after an earlier Close is harmless) so no .tmp-*
+	// litter or truncated artifact survives a failed run.
+	fail := func(err error) int {
+		if file != nil {
+			file.Close()
+			os.Remove(tmpPath)
+		}
+		fmt.Fprintf(stderr, "llcsweep: %v\n", err)
+		return 1
+	}
+
+	if file != nil {
+		// CreateTemp's restrictive 0600 would survive the rename; use the
+		// conventional artifact mode instead (as git does for checkouts).
+		// Deliberately not umask-derived: reading the umask portably
+		// requires Unix-only, process-global syscall.Umask flips.
+		if err := file.Chmod(0o644); err != nil {
+			return fail(err)
+		}
+	}
+
+	start := time.Now()
+	res, err := sweep.Run(spec, *parallel)
+	if err != nil {
+		return fail(err)
+	}
+	// Wall time goes to stderr so the artifact stays byte-identical
+	// across runs and worker counts (the determinism contract).
+	fmt.Fprintf(stderr, "llcsweep: %d cells x %d trials, wall time %s\n",
+		len(res.Cells), res.Spec.Trials, time.Since(start).Round(time.Millisecond))
+	if *asCSV {
+		err = res.WriteCSV(out)
+	} else {
+		err = res.WriteJSON(out)
+	}
+	if file == nil {
+		if err != nil {
+			fmt.Fprintf(stderr, "llcsweep: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	// Close errors matter: a writeback that fails at close (ENOSPC,
+	// networked filesystems) must not install a truncated artifact.
+	if cerr := file.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmpPath, *outFile); err != nil {
+		return fail(err)
+	}
+	return 0
+}
+
+// mergeStrings overrides base with the comma-separated flag value when
+// the flag was set.
+func mergeStrings(base []string, flagVal string) ([]string, error) {
+	if flagVal == "" {
+		return base, nil
+	}
+	var out []string
+	for _, p := range strings.Split(flagVal, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("empty element in list %q", flagVal)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// mergeInts is mergeStrings for integer axes.
+func mergeInts(base []int, flagVal string) ([]int, error) {
+	parts, err := mergeStrings(nil, flagVal)
+	if err != nil || parts == nil {
+		return base, err
+	}
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q in %q", p, flagVal)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// mergeFloats is mergeStrings for float axes.
+func mergeFloats(base []float64, flagVal string) ([]float64, error) {
+	parts, err := mergeStrings(nil, flagVal)
+	if err != nil || parts == nil {
+		return base, err
+	}
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q in %q", p, flagVal)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -8,7 +8,12 @@
 // the way state modelled here.
 package cache
 
-import "repro/internal/xrand"
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xrand"
+)
 
 // PolicyKind selects a replacement policy implementation.
 type PolicyKind int
@@ -25,6 +30,34 @@ const (
 	QLRU
 	RandomRepl
 )
+
+// Policies returns every supported policy kind, in declaration order.
+// Sweeps over "all replacement policies" iterate this slice so a newly
+// added policy is picked up automatically.
+func Policies() []PolicyKind {
+	return []PolicyKind{TrueLRU, TreePLRU, SRRIP, QLRU, RandomRepl}
+}
+
+// ParsePolicy resolves a policy's conventional name (as printed by
+// String, case-insensitively; "PLRU" and "Random" are accepted as
+// aliases) back to its kind. It is the inverse of String, used by
+// configuration sweeps that name policies declaratively.
+func ParsePolicy(name string) (PolicyKind, error) {
+	switch strings.ToLower(name) {
+	case "lru", "truelru":
+		return TrueLRU, nil
+	case "tree-plru", "plru", "treeplru":
+		return TreePLRU, nil
+	case "srrip":
+		return SRRIP, nil
+	case "qlru":
+		return QLRU, nil
+	case "random", "randomrepl":
+		return RandomRepl, nil
+	default:
+		return 0, fmt.Errorf("cache: unknown replacement policy %q (want LRU, Tree-PLRU, SRRIP, QLRU or Random)", name)
+	}
+}
 
 // String returns the policy's conventional name.
 func (k PolicyKind) String() string {

@@ -54,7 +54,7 @@ func Figure7(o Options) *Report {
 			"target: clear peaks at f0 ≈ 0.41 MHz and harmonics; non-target: no peaks at expected frequencies",
 		},
 	}
-	samples := RunTrials(1, o.Workers, subSeed(o.Seed, "fig7"), func(t *Trial) Sample {
+	samples := RunTrials(1, o.Workers, SubSeed(o.Seed, "fig7"), func(t *Trial) Sample {
 		s := pooledAttackSession(o, t, t.Seed)
 		p := psd.DefaultParams(s.V.ExpectedAccessPeriod())
 		td := s.CollectTrainingData(p, 2, 2)
@@ -142,7 +142,7 @@ func Table6(o Options) *Report {
 		{"WholeSys", maxInt(2, trials(o, 8)/3), clock.FromMillis(900_000), true},
 	}
 	for _, sc := range scens {
-		samples := RunTrials(sc.trials, o.Workers, subSeed(o.Seed, "table6", sc.name), func(t *Trial) Sample {
+		samples := RunTrials(sc.trials, o.Workers, SubSeed(o.Seed, "table6", sc.name), func(t *Trial) Sample {
 			s := pooledAttackSession(o, t, t.Seed)
 			sets := buildScanSets(s, sc.whole)
 			if len(sets) == 0 {
@@ -207,7 +207,7 @@ func Figure9(o Options) *Report {
 	// write race-free for any trial count, like the engine's own results.
 	const fig9Trials = 1
 	rowsByTrial := make([][][]string, fig9Trials)
-	samples := RunTrials(fig9Trials, o.Workers, subSeed(o.Seed, "fig9"), func(t *Trial) Sample {
+	samples := RunTrials(fig9Trials, o.Workers, SubSeed(o.Seed, "fig9"), func(t *Trial) Sample {
 		s := pooledAttackSession(o, t, t.Seed)
 		lines := targetSetLines(s)
 		if lines == nil {
@@ -286,7 +286,7 @@ func EndToEnd(o Options) *Report {
 	if !o.Full {
 		opt.Traces = 5
 	}
-	samples := RunTrials(pairs, o.Workers, subSeed(o.Seed, "e2e"), func(t *Trial) Sample {
+	samples := RunTrials(pairs, o.Workers, SubSeed(o.Seed, "e2e"), func(t *Trial) Sample {
 		s := pooledAttackSession(o, t, t.Seed)
 		res := s.RunEndToEnd(scanner, ex, opt)
 		return Sample{

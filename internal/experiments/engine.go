@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -50,6 +52,16 @@ type Trial struct {
 	pool *hostPool
 }
 
+// WithSeed returns a copy of the trial carrying the given seed and the
+// same worker-local host pool. The sweep runner uses it to re-root a
+// trial's randomness in its grid cell's own seed stream, so a cell's
+// results do not depend on its flat position in the grid.
+func (t *Trial) WithSeed(seed uint64) *Trial {
+	c := *t
+	c.Seed = seed
+	return &c
+}
+
 // Host returns a host with the given config, seeded for this trial —
 // a pooled host reset to the seed when the worker has one, a fresh host
 // otherwise. Both are behaviourally identical; callers must not hold a
@@ -83,9 +95,54 @@ func (p *hostPool) get(cfg hierarchy.Config, seed uint64) *hierarchy.Host {
 // samples in trial order. workers <= 0 selects GOMAXPROCS. Per-trial
 // seeds are drawn from the splitmix64 stream rooted at seed, so the
 // result is independent of the worker count and of scheduling order.
+//
+// A panic inside a trial is re-raised on the calling goroutine (wrapped
+// with the trial index) after the pool has drained, never from a worker —
+// so a buggy trial cannot deadlock the pool or kill the process from an
+// unrecoverable goroutine. Callers that would rather handle the failure
+// use RunTrialsErr.
 func RunTrials(n, workers int, seed uint64, fn func(t *Trial) Sample) []Sample {
+	out, tp := runTrials(n, workers, seed, fn)
+	if tp != nil {
+		// Panic with the typed value (its Error text prints identically)
+		// so a recover() above can still inspect index and cause.
+		panic(tp)
+	}
+	return out
+}
+
+// RunTrialsErr is RunTrials with a panicking trial converted into an
+// error identifying the trial, instead of a re-raised panic. The sweep
+// runner uses it so one broken grid cell fails the sweep cleanly.
+func RunTrialsErr(n, workers int, seed uint64, fn func(t *Trial) Sample) ([]Sample, error) {
+	out, tp := runTrials(n, workers, seed, fn)
+	if tp != nil {
+		return nil, tp
+	}
+	return out, nil
+}
+
+// trialPanic records the first trial panic observed by a run, with the
+// trial goroutine's stack captured at recover time (the re-raise on the
+// caller's goroutine would otherwise lose the faulting site).
+type trialPanic struct {
+	index int
+	value any
+	stack []byte
+}
+
+func (p *trialPanic) Error() string {
+	return fmt.Sprintf("experiments: trial %d panicked: %v\n%s", p.index, p.value, p.stack)
+}
+
+// TrialIndex returns the index of the trial that panicked; callers that
+// map flat indices onto richer coordinates (the sweep's grid cells) use
+// it to name the failing unit of work.
+func (p *trialPanic) TrialIndex() int { return p.index }
+
+func runTrials(n, workers int, seed uint64, fn func(t *Trial) Sample) ([]Sample, *trialPanic) {
 	if n <= 0 {
-		return nil
+		return nil, nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -94,12 +151,41 @@ func RunTrials(n, workers int, seed uint64, fn func(t *Trial) Sample) []Sample {
 		workers = n
 	}
 	out := make([]Sample, n)
+	var firstPanic atomic.Pointer[trialPanic]
+	// record keeps the lowest-index panic observed, not whichever worker
+	// recovered first, so the attribution a caller reports (e.g. the
+	// sweep's failing grid cell) does not depend on scheduling order.
+	record := func(tp *trialPanic) {
+		for {
+			cur := firstPanic.Load()
+			if cur != nil && cur.index <= tp.index {
+				return
+			}
+			if firstPanic.CompareAndSwap(cur, tp) {
+				return
+			}
+		}
+	}
+	// runOne recovers a panicking fn so a worker goroutine always returns
+	// to its trial loop; panics beyond the lowest-index one are side
+	// effects of an already-failed run and are dropped.
+	runOne := func(t *Trial) {
+		defer func() {
+			if r := recover(); r != nil {
+				record(&trialPanic{index: t.Index, value: r, stack: debug.Stack()})
+			}
+		}()
+		out[t.Index] = fn(t)
+	}
 	if workers == 1 {
 		pool := &hostPool{}
 		for i := 0; i < n; i++ {
-			out[i] = fn(&Trial{Index: i, Seed: xrand.Stream(seed, uint64(i)), pool: pool})
+			if firstPanic.Load() != nil {
+				break
+			}
+			runOne(&Trial{Index: i, Seed: xrand.Stream(seed, uint64(i)), pool: pool})
 		}
-		return out
+		return out, firstPanic.Load()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -110,21 +196,21 @@ func RunTrials(n, workers int, seed uint64, fn func(t *Trial) Sample) []Sample {
 			pool := &hostPool{}
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n {
+				if i >= n || firstPanic.Load() != nil {
 					return
 				}
-				out[i] = fn(&Trial{Index: i, Seed: xrand.Stream(seed, uint64(i)), pool: pool})
+				runOne(&Trial{Index: i, Seed: xrand.Stream(seed, uint64(i)), pool: pool})
 			}
 		}()
 	}
 	wg.Wait()
-	return out
+	return out, firstPanic.Load()
 }
 
-// subSeed derives an independent base seed for one labelled sub-run of an
+// SubSeed derives an independent base seed for one labelled sub-run of an
 // experiment (e.g. one scenario of table6), so that separate RunTrials
 // calls within a report never share trial seeds.
-func subSeed(seed uint64, labels ...string) uint64 {
+func SubSeed(seed uint64, labels ...string) uint64 {
 	h := uint64(1469598103934665603) // FNV-64 offset basis
 	for _, l := range labels {
 		for i := 0; i < len(l); i++ {

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"fmt"
 	"reflect"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/xrand"
 )
@@ -49,22 +52,101 @@ func TestRunTrialsEdgeCases(t *testing.T) {
 	if s := RunTrials(0, 4, 1, func(*Trial) Sample { return Sample{} }); s != nil {
 		t.Errorf("n=0 should return nil, got %v", s)
 	}
+	if s := RunTrials(-3, 4, 1, func(*Trial) Sample { return Sample{} }); s != nil {
+		t.Errorf("negative n should return nil, got %v", s)
+	}
 	// workers beyond n must not deadlock or drop trials.
 	s := RunTrials(2, 16, 1, func(tr *Trial) Sample { return Sample{OK: true} })
 	if len(s) != 2 || !s[0].OK || !s[1].OK {
 		t.Errorf("short run mishandled: %v", s)
 	}
+	// Zero trials through the error-returning variant.
+	if s, err := RunTrialsErr(0, 4, 1, func(*Trial) Sample { return Sample{} }); s != nil || err != nil {
+		t.Errorf("RunTrialsErr(0) = %v, %v", s, err)
+	}
+}
+
+// TestRunTrialsPanicSurfacesError pins the pool-hardening contract: a
+// panicking trial must drain the pool and come back as a clean error
+// naming the trial (RunTrialsErr) or as a caller-side panic (RunTrials)
+// — never a deadlock or a process abort from a worker goroutine.
+func TestRunTrialsPanicSurfacesError(t *testing.T) {
+	boom := func(tr *Trial) Sample {
+		if tr.Index == 3 {
+			panic("boom")
+		}
+		return Sample{OK: true}
+	}
+	type result struct {
+		samples []Sample
+		err     error
+	}
+	for _, workers := range []int{1, 4, 16} {
+		// Report only from the test goroutine: the worker goroutine just
+		// ships its result over a channel, so a timeout can't race a late
+		// t.Errorf against test completion.
+		done := make(chan result, 1)
+		go func() {
+			s, err := RunTrialsErr(8, workers, 1, boom)
+			done <- result{s, err}
+		}()
+		select {
+		case r := <-done:
+			if r.err == nil {
+				t.Errorf("workers=%d: RunTrialsErr missed the panic", workers)
+				continue
+			}
+			if !strings.Contains(r.err.Error(), "trial 3") || !strings.Contains(r.err.Error(), "boom") {
+				t.Errorf("workers=%d: error %q does not identify the trial", workers, r.err)
+			}
+			if r.samples != nil {
+				t.Errorf("workers=%d: got samples alongside an error", workers)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("workers=%d: RunTrialsErr deadlocked on a panicking trial", workers)
+		}
+	}
+}
+
+func TestRunTrialsRepanicsOnCaller(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("RunTrials swallowed a trial panic")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "boom") {
+			t.Fatalf("re-raised panic %q lost the original value", msg)
+		}
+	}()
+	RunTrials(4, 2, 1, func(tr *Trial) Sample { panic("boom") })
+}
+
+func TestTrialWithSeed(t *testing.T) {
+	RunTrials(1, 1, 9, func(tr *Trial) Sample {
+		re := tr.WithSeed(0xdead)
+		if re.Seed != 0xdead || re.Index != tr.Index {
+			t.Errorf("WithSeed = %+v", re)
+		}
+		if tr.Seed == 0xdead {
+			t.Error("WithSeed mutated the original trial")
+		}
+		// The reseeded trial must still reach the worker's host pool.
+		if re.pool != tr.pool {
+			t.Error("WithSeed dropped the host pool")
+		}
+		return Sample{}
+	})
 }
 
 func TestSubSeedIndependence(t *testing.T) {
-	a := subSeed(1, "table6", "PageOffset")
-	b := subSeed(1, "table6", "WholeSys")
-	c := subSeed(2, "table6", "PageOffset")
+	a := SubSeed(1, "table6", "PageOffset")
+	b := SubSeed(1, "table6", "WholeSys")
+	c := SubSeed(2, "table6", "PageOffset")
 	if a == b || a == c || b == c {
-		t.Fatalf("subSeed collisions: %#x %#x %#x", a, b, c)
+		t.Fatalf("SubSeed collisions: %#x %#x %#x", a, b, c)
 	}
-	if a != subSeed(1, "table6", "PageOffset") {
-		t.Fatal("subSeed is not deterministic")
+	if a != SubSeed(1, "table6", "PageOffset") {
+		t.Fatal("SubSeed is not deterministic")
 	}
 }
 

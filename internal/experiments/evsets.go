@@ -73,7 +73,7 @@ func Table3(o Options) *Report {
 			cells = append(cells, cell{env.name, env.cfg, algo})
 		}
 	}
-	samples := RunTrials(len(cells)*n, o.Workers, subSeed(o.Seed, "table3"), func(t *Trial) Sample {
+	samples := RunTrials(len(cells)*n, o.Workers, SubSeed(o.Seed, "table3"), func(t *Trial) Sample {
 		c := cells[t.Index/n]
 		ok, d := singleSetTrial(t, c.cfg, c.algo, t.Seed, evset.DefaultOptions())
 		return Sample{OK: ok, Value: float64(d)}
@@ -107,7 +107,7 @@ func Figure2(o Options) *Report {
 		name string
 		cfg  hierarchy.Config
 	}{{"local", localConfig(o)}, {"cloud", cloudConfig(o)}}
-	samples := RunTrials(len(envs), o.Workers, subSeed(o.Seed, "fig2"), func(t *Trial) Sample {
+	samples := RunTrials(len(envs), o.Workers, SubSeed(o.Seed, "fig2"), func(t *Trial) Sample {
 		gaps := collectGaps(t, envs[t.Index].cfg, t.Seed, trials(o, 1000))
 		return Sample{Series: [][]float64{gaps}}
 	})
@@ -172,7 +172,7 @@ func Figure3(o Options) *Report {
 	u := cfg.LLCUncertainty()
 	mults := []int{1, 3, 5, 7, 9, 11}
 	reps := trials(o, 30)
-	samples := RunTrials(len(mults), o.Workers, subSeed(o.Seed, "fig3"), func(t *Trial) Sample {
+	samples := RunTrials(len(mults), o.Workers, SubSeed(o.Seed, "fig3"), func(t *Trial) Sample {
 		h := t.Host(cfg, t.Seed)
 		e := evset.NewEnv(h, t.Seed^0xf13)
 		pool := evset.NewCandidates(e, 11*u+1, 0)
@@ -268,7 +268,7 @@ func Table4(o Options) *Report {
 			}
 		}
 	}
-	samples := RunTrials(len(jobCell), o.Workers, subSeed(o.Seed, "table4"), func(t *Trial) Sample {
+	samples := RunTrials(len(jobCell), o.Workers, SubSeed(o.Seed, "table4"), func(t *Trial) Sample {
 		c := cells[jobCell[t.Index]]
 		rate, d := table4Trial(t, c.cfg, c.algo, c.scenario, t.Seed)
 		return Sample{Value: float64(d), Extra: []float64{rate}}
@@ -344,7 +344,7 @@ func FilterOverhead(o Options) *Report {
 		},
 	}
 	cfg := cloudConstructionConfig(o, true)
-	samples := RunTrials(1, o.Workers, subSeed(o.Seed, "filter"), func(t *Trial) Sample {
+	samples := RunTrials(1, o.Workers, SubSeed(o.Seed, "filter"), func(t *Trial) Sample {
 		h := t.Host(cfg, t.Seed)
 		e := evset.NewEnv(h, t.Seed^0x71f)
 		cands := evset.NewCandidates(e, evset.DefaultPoolSize(cfg), 0)
@@ -423,7 +423,7 @@ func IceLake(o Options) *Report {
 			}
 		}
 	}
-	samples := RunTrials(len(cells)*n, o.Workers, subSeed(o.Seed, "icelake"), func(t *Trial) Sample {
+	samples := RunTrials(len(cells)*n, o.Workers, SubSeed(o.Seed, "icelake"), func(t *Trial) Sample {
 		c := cells[t.Index/n]
 		d, ok := iceLakeTrial(t, c.cfg, c.algo, c.target, t.Seed)
 		return Sample{OK: ok, Value: float64(d)}

@@ -190,7 +190,7 @@ func trials(o Options, def int) int {
 	return def
 }
 
-// constructionNoiseScale returns the factor by which the scaled host's
+// ConstructionNoiseScale returns the factor by which the scaled host's
 // noise rate must grow so that eviction-set construction sees the same
 // noise-hits-per-TestEviction as the paper's full-scale hosts. A scaled
 // candidate pool is ~40x smaller than the 28-slice Skylake-SP pool, so
@@ -201,7 +201,7 @@ func trials(o Options, def int) int {
 // filtered experiments is correspondingly lower. Monitoring experiments
 // (Tables 5-6, Figures 6-9) keep the true rates: their timescale is set
 // by the victim's iteration length, which does not scale.
-func constructionNoiseScale(cfg hierarchy.Config, filtered bool) float64 {
+func ConstructionNoiseScale(cfg hierarchy.Config, filtered bool) float64 {
 	full := hierarchy.SkylakeSP(28)
 	fullPool := float64(3 * full.LLCUncertainty() * full.SFWays)
 	pool := float64(3 * cfg.LLCUncertainty() * cfg.SFWays)
@@ -220,7 +220,7 @@ func constructionNoiseScale(cfg hierarchy.Config, filtered bool) float64 {
 func localConstructionConfig(o Options, filtered bool) hierarchy.Config {
 	cfg := localConfig(o)
 	if !o.Full {
-		cfg = cfg.WithNoiseRate(0.29 * constructionNoiseScale(cfg, filtered))
+		cfg = cfg.WithNoiseRate(0.29 * ConstructionNoiseScale(cfg, filtered))
 	}
 	return cfg
 }
@@ -229,7 +229,7 @@ func localConstructionConfig(o Options, filtered bool) hierarchy.Config {
 func cloudConstructionConfig(o Options, filtered bool) hierarchy.Config {
 	cfg := cloudConfig(o)
 	if !o.Full {
-		cfg = cfg.WithNoiseRate(11.5 * constructionNoiseScale(cfg, filtered))
+		cfg = cfg.WithNoiseRate(11.5 * ConstructionNoiseScale(cfg, filtered))
 	}
 	return cfg
 }

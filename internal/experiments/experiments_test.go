@@ -78,8 +78,8 @@ func TestFilterOverheadShape(t *testing.T) {
 
 func TestNoiseScaleFactors(t *testing.T) {
 	o := Options{}
-	unf := constructionNoiseScale(localConfig(o), false)
-	fil := constructionNoiseScale(localConfig(o), true)
+	unf := ConstructionNoiseScale(localConfig(o), false)
+	fil := ConstructionNoiseScale(localConfig(o), true)
 	if unf <= 1 || fil <= 1 {
 		t.Fatalf("scales must exceed 1: %v %v", unf, fil)
 	}
@@ -87,7 +87,7 @@ func TestNoiseScaleFactors(t *testing.T) {
 		t.Fatalf("filtered scale %v must be below unfiltered %v", fil, unf)
 	}
 	full := Options{Full: true}
-	if s := constructionNoiseScale(localConfig(full), false); s != 1 {
+	if s := ConstructionNoiseScale(localConfig(full), false); s != 1 {
 		// 22-slice full local differs slightly from the 28-slice norm.
 		if s < 0.5 || s > 2 {
 			t.Fatalf("full-scale factor %v should be near 1", s)

@@ -64,7 +64,7 @@ func Table5(o Options) *Report {
 	reps := trials(o, 6)
 	strats := []probe.Strategy{probe.PSFlush, probe.PSAlt, probe.Parallel}
 	cfg := cloudConfig(o)
-	samples := RunTrials(len(strats)*reps, o.Workers, subSeed(o.Seed, "table5"), func(t *Trial) Sample {
+	samples := RunTrials(len(strats)*reps, o.Workers, SubSeed(o.Seed, "table5"), func(t *Trial) Sample {
 		strat := strats[t.Index/reps]
 		e, lines, alt, sender, ok := covertSetup(t, cfg, t.Seed)
 		if !ok {
@@ -104,7 +104,7 @@ func Figure6(o Options) *Report {
 	count := trials(o, 300)
 	reps := 3
 	cfg := cloudConfig(o)
-	samples := RunTrials(len(intervals)*len(strats)*reps, o.Workers, subSeed(o.Seed, "fig6"), func(t *Trial) Sample {
+	samples := RunTrials(len(intervals)*len(strats)*reps, o.Workers, SubSeed(o.Seed, "fig6"), func(t *Trial) Sample {
 		cellIdx := t.Index / reps
 		iv := intervals[cellIdx/len(strats)]
 		strat := strats[cellIdx%len(strats)]
@@ -145,7 +145,7 @@ func AblationPolicy(o Options) *Report {
 	strats := []probe.Strategy{probe.Parallel, probe.PSFlush}
 	const reps = 3
 	count := trials(o, 250)
-	samples := RunTrials(len(pols)*len(strats)*reps, o.Workers, subSeed(o.Seed, "abl-policy"), func(t *Trial) Sample {
+	samples := RunTrials(len(pols)*len(strats)*reps, o.Workers, SubSeed(o.Seed, "abl-policy"), func(t *Trial) Sample {
 		cellIdx := t.Index / reps
 		p := pols[cellIdx/len(strats)]
 		strat := strats[cellIdx%len(strats)]
@@ -190,9 +190,9 @@ func AblationNoise(o Options) *Report {
 	count := trials(o, 200)
 	perRate := n + covertReps // n construction trials then covertReps detection trials
 	cfgFor := func(rate float64) hierarchy.Config {
-		return localConfig(o).WithNoiseRate(rate * constructionNoiseScale(localConfig(o), true))
+		return localConfig(o).WithNoiseRate(rate * ConstructionNoiseScale(localConfig(o), true))
 	}
-	samples := RunTrials(len(noiseRates)*perRate, o.Workers, subSeed(o.Seed, "abl-noise"), func(t *Trial) Sample {
+	samples := RunTrials(len(noiseRates)*perRate, o.Workers, SubSeed(o.Seed, "abl-noise"), func(t *Trial) Sample {
 		rate := noiseRates[t.Index/perRate]
 		cfg := cfgFor(rate)
 		if t.Index%perRate < n {

@@ -21,6 +21,8 @@
 package hierarchy
 
 import (
+	"fmt"
+
 	"repro/internal/cache"
 	"repro/internal/memory"
 )
@@ -264,6 +266,35 @@ func (c Config) WithQuiescentNoise() Config {
 // per millisecond per set (the paper's unit).
 func (c Config) WithNoiseRate(perMs float64) Config {
 	c.NoiseRate = perMs / cyclesPerMs
+	return c
+}
+
+// WithSharedPolicy returns a copy whose shared structures (LLC and SF)
+// use the given replacement policy. The private L2 keeps its configured
+// policy: the paper's §6.1 robustness claim concerns the shared levels,
+// whose policy a cross-tenant attacker cannot know.
+func (c Config) WithSharedPolicy(k cache.PolicyKind) Config {
+	c.LLCPolicy = k
+	c.SFPolicy = k
+	return c
+}
+
+// WithSFAssociativity returns a copy with the given Snoop Filter
+// associativity; the LLC slice associativity follows one below it,
+// mirroring the 12/11 (Skylake-SP) and 8/7 (Scaled) relationships of the
+// shipped geometries. It panics when the requested associativity leaves
+// no room under the L2's: the SF eviction test keeps Ta plus a whole SF
+// eviction set resident in one L2 set, so SFWays must stay comfortably
+// below L2Ways (as on real parts).
+func (c Config) WithSFAssociativity(sfWays int) Config {
+	if sfWays < 2 {
+		panic(fmt.Sprintf("hierarchy: SF associativity %d below minimum 2", sfWays))
+	}
+	if sfWays >= c.L2Ways {
+		panic(fmt.Sprintf("hierarchy: SF associativity %d must stay below L2Ways %d", sfWays, c.L2Ways))
+	}
+	c.SFWays = sfWays
+	c.LLCWays = sfWays - 1
 	return c
 }
 

@@ -1,0 +1,355 @@
+// Package sweep expands a declarative configuration grid — replacement
+// policy x SF associativity x slice count x noise level x cell
+// experiment — into hierarchy configs and runs every cell through the
+// parallel trial engine in internal/experiments, aggregating the
+// per-cell samples into one deterministic artifact (JSON or CSV) with
+// deltas against the grid's baseline cell.
+//
+// The paper's §6.1 robustness claim is that eviction-set construction
+// and Parallel Probing work irrespective of the replacement policy and
+// cache organisation; a sweep is how that claim is checked as a grid
+// rather than a point.
+//
+// Determinism: the whole grid flattens into a single RunTrials call, so
+// per-worker host pools are shared across cells and the artifact is
+// byte-identical for every worker count. The flip side of pool sharing
+// is retention: a worker keeps one pooled host per distinct config it
+// has touched until the sweep ends, so peak memory grows with
+// (distinct configs) x workers (a scaled host is a few MB). For the
+// intended grid sizes (tens of cells) that is far cheaper than
+// rebuilding hosts per cell; truly huge grids should be split into
+// several sweeps. Additionally, a cell's trial
+// seeds are derived from the cell's own coordinates (not from its flat
+// position in the grid), so adding or removing grid values never changes
+// the numbers of the cells that remain — artifacts from different grids
+// diff cleanly against each other.
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/cache"
+	"repro/internal/experiments"
+	"repro/internal/hierarchy"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Spec declares a sweep grid. Zero-valued axes take defaults (see
+// Normalize); the cross product of all axes, times Experiments, is the
+// set of cells. Specs round-trip through JSON for -spec files.
+type Spec struct {
+	// Experiments names the cell experiments to run in every grid cell
+	// (see experiments.CellIDs; cmd/llcsweep -list prints them).
+	Experiments []string `json:"experiments"`
+	// Policies names the LLC/SF replacement policies to sweep
+	// (cache.ParsePolicy names: LRU, Tree-PLRU, SRRIP, QLRU, Random).
+	Policies []string `json:"policies"`
+	// SFAssocs sweeps the Snoop Filter associativity; the LLC follows one
+	// way below (hierarchy.Config.WithSFAssociativity).
+	SFAssocs []int `json:"sf_assocs"`
+	// Slices sweeps the LLC/SF slice count of the scaled host.
+	Slices []int `json:"slices"`
+	// NoiseRates sweeps the background tenant rate in accesses/ms/set
+	// (0.29 = quiescent local, 11.5 = Cloud Run).
+	NoiseRates []float64 `json:"noise_rates"`
+	// Trials is the number of trials per cell.
+	Trials int `json:"trials"`
+	// Seed roots all randomness; a fixed seed fixes the artifact
+	// byte-for-byte. Every value is literal, including 0 (cmd/llcsweep
+	// supplies its default of 1, not this package), so the spec embedded
+	// in an artifact always reproduces that artifact exactly.
+	Seed uint64 `json:"seed"`
+}
+
+// Normalize fills defaulted fields in place: a small but meaningful
+// grid (BinS construction across all five policies on the quiescent
+// scaled host) with 10 trials per cell. Seed is never touched — 0 is a
+// legitimate seed.
+func (s *Spec) Normalize() {
+	if len(s.Experiments) == 0 {
+		s.Experiments = []string{"evset/bins"}
+	}
+	if len(s.Policies) == 0 {
+		for _, k := range cache.Policies() {
+			s.Policies = append(s.Policies, k.String())
+		}
+	}
+	if len(s.SFAssocs) == 0 {
+		s.SFAssocs = []int{8}
+	}
+	if len(s.Slices) == 0 {
+		s.Slices = []int{4}
+	}
+	if len(s.NoiseRates) == 0 {
+		s.NoiseRates = []float64{0.29}
+	}
+	if s.Trials == 0 {
+		s.Trials = 10
+	}
+}
+
+// Validate checks every axis value, returning the first problem. It
+// validates against the scaled base geometry the sweep builds on.
+func (s *Spec) Validate() error {
+	if s.Trials < 1 {
+		return fmt.Errorf("sweep: trials must be >= 1, got %d", s.Trials)
+	}
+	for _, id := range s.Experiments {
+		if _, ok := experiments.LookupCell(id); !ok {
+			return fmt.Errorf("sweep: unknown cell experiment %q (known: %v)", id, experiments.CellIDs())
+		}
+	}
+	for _, p := range s.Policies {
+		if _, err := cache.ParsePolicy(p); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
+	base := hierarchy.Scaled(2)
+	for _, a := range s.SFAssocs {
+		if a < 2 || a >= base.L2Ways {
+			return fmt.Errorf("sweep: SF associativity %d out of range [2, %d)", a, base.L2Ways)
+		}
+	}
+	for _, n := range s.Slices {
+		if n < 1 || n > 64 {
+			return fmt.Errorf("sweep: slice count %d out of range [1, 64]", n)
+		}
+	}
+	for _, r := range s.NoiseRates {
+		if r < 0 {
+			return fmt.Errorf("sweep: negative noise rate %g", r)
+		}
+	}
+	return nil
+}
+
+// CellResult is one cell's aggregated report. Mean/Stddev/Median
+// summarize Sample.Value over successful trials (Unit names the value's
+// unit); SuccessRate is the fraction of trials that succeeded.
+type CellResult struct {
+	Experiment string  `json:"experiment"`
+	Policy     string  `json:"policy"`
+	SFAssoc    int     `json:"sf_assoc"`
+	Slices     int     `json:"slices"`
+	NoiseRate  float64 `json:"noise_rate"`
+
+	Unit        string  `json:"unit"`
+	Trials      int     `json:"trials"`
+	SuccessRate float64 `json:"success_rate"`
+	Mean        float64 `json:"mean"`
+	Stddev      float64 `json:"stddev"`
+	Median      float64 `json:"median"`
+
+	// Baseline marks the cell every other cell of the same experiment is
+	// compared against: the one at the first value of every axis.
+	Baseline bool `json:"baseline,omitempty"`
+	// DeltaSuccess is this cell's success rate minus the baseline's
+	// (absolute difference); DeltaMean is (mean - baseline mean) /
+	// baseline mean (relative). Omitted on the baseline cell itself.
+	DeltaSuccess *float64 `json:"delta_success,omitempty"`
+	DeltaMean    *float64 `json:"delta_mean,omitempty"`
+}
+
+// Result is the aggregated sweep artifact.
+type Result struct {
+	Spec  Spec         `json:"spec"`
+	Cells []CellResult `json:"cells"`
+}
+
+// cell is one expanded grid point before aggregation.
+type cell struct {
+	exp       experiments.Cell
+	policy    cache.PolicyKind
+	polName   string
+	sfAssoc   int
+	slices    int
+	noiseRate float64
+	cfg       hierarchy.Config
+	seed      uint64
+}
+
+// expand materialises the spec's cells in deterministic order:
+// experiments outermost, then policies, associativities, slice counts,
+// noise rates. The spec must already have passed Validate — the single
+// validation path — so failed lookups here are programming errors.
+func expand(s Spec) []cell {
+	var out []cell
+	for _, id := range s.Experiments {
+		ce, ok := experiments.LookupCell(id)
+		if !ok {
+			panic("sweep: expand called with unvalidated experiment " + id)
+		}
+		for _, pname := range s.Policies {
+			kind, err := cache.ParsePolicy(pname)
+			if err != nil {
+				panic("sweep: expand called with unvalidated policy " + pname)
+			}
+			for _, assoc := range s.SFAssocs {
+				for _, slices := range s.Slices {
+					for _, rate := range s.NoiseRates {
+						cfg := hierarchy.Scaled(slices).
+							WithSFAssociativity(assoc).
+							WithSharedPolicy(kind)
+						// Noise rates are declared in the paper's unit. For
+						// construction-protocol cells the scaled host must run a
+						// proportionally higher rate for the declared rate to be
+						// equivalent (otherwise Cloud Run-level noise is invisible
+						// to the shorter test windows — see ConstructionNoiseScale);
+						// monitoring cells keep the raw rate.
+						effRate := rate
+						if ce.ConstructionNoise {
+							effRate *= experiments.ConstructionNoiseScale(cfg, false)
+						}
+						cfg = cfg.WithNoiseRate(effRate)
+						cfg.Name = fmt.Sprintf("sweep/%s/w%d/s%d", kind, assoc, slices)
+						out = append(out, cell{
+							exp:       ce,
+							policy:    kind,
+							polName:   kind.String(),
+							sfAssoc:   assoc,
+							slices:    slices,
+							noiseRate: rate,
+							cfg:       cfg,
+							seed:      cellSeed(s.Seed, ce.ID, kind.String(), assoc, slices, rate),
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// cellSeed derives a cell's base seed from its coordinates alone (via
+// the engine's labelled-seed scheme), so a cell's trials are invariant
+// under changes to the rest of the grid.
+func cellSeed(seed uint64, labels ...any) uint64 {
+	strs := make([]string, len(labels))
+	for i, l := range labels {
+		strs[i] = fmt.Sprint(l)
+	}
+	return experiments.SubSeed(seed, strs...)
+}
+
+// Run executes the sweep: the whole grid flattens into one
+// experiments.RunTrialsErr call (so per-worker host pools are shared
+// across cells and one panicking cell fails the sweep cleanly), then
+// each cell's samples aggregate into a CellResult with deltas against
+// its experiment's baseline cell. workers <= 0 selects GOMAXPROCS; the
+// Result is identical for every worker count.
+func Run(spec Spec, workers int) (*Result, error) {
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cls := expand(spec)
+	n := spec.Trials
+	samples, err := experiments.RunTrialsErr(len(cls)*n, workers, spec.Seed, func(t *experiments.Trial) experiments.Sample {
+		c := cls[t.Index/n]
+		// The trial's seed comes from the cell's own stream, not the flat
+		// grid index, so cells are stable across grid reshapes.
+		return c.exp.Run(t.WithSeed(xrand.Stream(c.seed, uint64(t.Index%n))), c.cfg)
+	})
+	if err != nil {
+		// Name the failing grid cell, not just the flat trial index: the
+		// coordinates are what the operator needs to reproduce one cell.
+		if tp, ok := err.(interface{ TrialIndex() int }); ok {
+			if ci := tp.TrialIndex() / n; ci >= 0 && ci < len(cls) {
+				c := cls[ci]
+				return nil, fmt.Errorf("sweep: cell %s policy=%s sf_assoc=%d slices=%d noise=%g: %w",
+					c.exp.ID, c.polName, c.sfAssoc, c.slices, c.noiseRate, err)
+			}
+		}
+		return nil, err
+	}
+	res := &Result{Spec: spec}
+	baseline := map[string]CellResult{} // experiment id -> baseline cell
+	for ci, c := range cls {
+		cs := samples[ci*n : (ci+1)*n]
+		var ok []float64
+		succ := 0
+		for _, s := range cs {
+			if s.OK {
+				succ++
+				ok = append(ok, s.Value)
+			}
+		}
+		sum := stats.Summarize(ok)
+		cr := CellResult{
+			Experiment:  c.exp.ID,
+			Policy:      c.polName,
+			SFAssoc:     c.sfAssoc,
+			Slices:      c.slices,
+			NoiseRate:   c.noiseRate,
+			Unit:        c.exp.Unit,
+			Trials:      n,
+			SuccessRate: float64(succ) / float64(n),
+			Mean:        sum.Mean,
+			Stddev:      sum.Stddev,
+			Median:      sum.Median,
+		}
+		if base, have := baseline[c.exp.ID]; !have {
+			// Cells expand with the first value of every axis first, so the
+			// first cell of an experiment is its baseline.
+			cr.Baseline = true
+			baseline[c.exp.ID] = cr
+		} else {
+			ds := cr.SuccessRate - base.SuccessRate
+			cr.DeltaSuccess = &ds
+			if base.Mean != 0 {
+				dm := (cr.Mean - base.Mean) / base.Mean
+				cr.DeltaMean = &dm
+			}
+		}
+		res.Cells = append(res.Cells, cr)
+	}
+	return res, nil
+}
+
+// WriteJSON renders the artifact as indented JSON. Encoding is fully
+// deterministic: struct-ordered keys, shortest-form floats.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// csvHeader is the CSV artifact's column set.
+var csvHeader = []string{
+	"experiment", "policy", "sf_assoc", "slices", "noise_rate",
+	"unit", "trials", "success_rate", "mean", "stddev", "median",
+	"baseline", "delta_success", "delta_mean",
+}
+
+// WriteCSV renders the artifact as CSV with one row per cell; delta
+// columns are empty on baseline cells.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	opt := func(v *float64) string {
+		if v == nil {
+			return ""
+		}
+		return f(*v)
+	}
+	for _, c := range r.Cells {
+		row := []string{
+			c.Experiment, c.Policy, strconv.Itoa(c.SFAssoc), strconv.Itoa(c.Slices), f(c.NoiseRate),
+			c.Unit, strconv.Itoa(c.Trials), f(c.SuccessRate), f(c.Mean), f(c.Stddev), f(c.Median),
+			strconv.FormatBool(c.Baseline), opt(c.DeltaSuccess), opt(c.DeltaMean),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,189 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/csv"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// tinySpec is a fast 2x2 grid used by most tests.
+func tinySpec() Spec {
+	return Spec{
+		Experiments: []string{"evset/bins"},
+		Policies:    []string{"LRU", "QLRU"},
+		SFAssocs:    []int{8, 6},
+		Slices:      []int{2},
+		NoiseRates:  []float64{0.29},
+		Trials:      2,
+		Seed:        7,
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	var s Spec
+	s.Normalize()
+	if len(s.Experiments) == 0 || len(s.Policies) != 5 || len(s.SFAssocs) == 0 ||
+		len(s.Slices) == 0 || len(s.NoiseRates) == 0 || s.Trials == 0 {
+		t.Fatalf("Normalize left zero-valued fields: %+v", s)
+	}
+	if s.Seed != 0 {
+		t.Fatalf("Normalize must leave the seed literal (0 is a valid seed), got %d", s.Seed)
+	}
+	// Trials == 0 means "default": Normalize turns it into 10, so a spec
+	// file with "trials": 0 runs the default count rather than erroring.
+	if s.Trials != 10 {
+		t.Fatalf("Normalize defaulted Trials to %d, want 10", s.Trials)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("normalized default spec must validate: %v", err)
+	}
+}
+
+func TestValidateRejectsBadAxes(t *testing.T) {
+	for name, mut := range map[string]func(*Spec){
+		"unknown experiment": func(s *Spec) { s.Experiments = []string{"nope/nope"} },
+		"unknown policy":     func(s *Spec) { s.Policies = []string{"FIFO"} },
+		"assoc too low":      func(s *Spec) { s.SFAssocs = []int{1} },
+		"assoc at L2Ways":    func(s *Spec) { s.SFAssocs = []int{12} },
+		"zero slices":        func(s *Spec) { s.Slices = []int{0} },
+		"negative noise":     func(s *Spec) { s.NoiseRates = []float64{-1} },
+		"negative trials":    func(s *Spec) { s.Trials = -1 },
+	} {
+		s := tinySpec()
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, s)
+		}
+		if _, err := Run(s, 1); err == nil {
+			t.Errorf("%s: Run accepted invalid spec", name)
+		}
+	}
+}
+
+func TestGridExpansionAndBaseline(t *testing.T) {
+	s := tinySpec()
+	res, err := Run(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(s.Policies) * len(s.SFAssocs) // 1 experiment, 1 slice count, 1 noise rate
+	if len(res.Cells) != want {
+		t.Fatalf("got %d cells, want %d", len(res.Cells), want)
+	}
+	// Exactly one baseline per experiment, and it is the first cell (first
+	// value of every axis).
+	if !res.Cells[0].Baseline {
+		t.Error("first cell not marked baseline")
+	}
+	for i, c := range res.Cells {
+		if i == 0 {
+			if c.DeltaSuccess != nil || c.DeltaMean != nil {
+				t.Error("baseline cell carries deltas")
+			}
+			continue
+		}
+		if c.Baseline {
+			t.Errorf("cell %d unexpectedly marked baseline", i)
+		}
+		if c.DeltaSuccess == nil {
+			t.Errorf("cell %d missing delta_success", i)
+		} else if ds := *c.DeltaSuccess; ds != c.SuccessRate-res.Cells[0].SuccessRate {
+			t.Errorf("cell %d delta_success = %v, want %v", i, ds, c.SuccessRate-res.Cells[0].SuccessRate)
+		}
+	}
+}
+
+// TestArtifactWorkerInvariance is the sweep's acceptance contract: the
+// rendered JSON and CSV artifacts must be byte-identical between
+// sequential and 8-worker runs of the same grid.
+func TestArtifactWorkerInvariance(t *testing.T) {
+	render := func(workers int) (string, string) {
+		res, err := Run(tinySpec(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j, c bytes.Buffer
+		if err := res.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), c.String()
+	}
+	j1, c1 := render(1)
+	j8, c8 := render(8)
+	if j1 != j8 {
+		t.Errorf("JSON artifact differs between workers=1 and workers=8:\n%s\nvs\n%s", j1, j8)
+	}
+	if c1 != c8 {
+		t.Errorf("CSV artifact differs between workers=1 and workers=8")
+	}
+}
+
+// TestCellGridInvariance checks the reshape property: a cell's numbers
+// depend only on its own coordinates, so shrinking the grid leaves the
+// surviving cells byte-identical.
+func TestCellGridInvariance(t *testing.T) {
+	full, err := Run(tinySpec(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := tinySpec()
+	small.Policies = []string{"LRU"} // drop QLRU
+	sub, err := Run(small, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range sub.Cells {
+		found := false
+		for _, fc := range full.Cells {
+			if fc.Policy == sc.Policy && fc.SFAssoc == sc.SFAssoc {
+				found = true
+				if fc.SuccessRate != sc.SuccessRate || fc.Mean != sc.Mean ||
+					fc.Stddev != sc.Stddev || fc.Median != sc.Median {
+					t.Errorf("cell %s/w%d changed when the grid shrank: %+v vs %+v",
+						sc.Policy, sc.SFAssoc, sc, fc)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("cell %s/w%d missing from the full grid", sc.Policy, sc.SFAssoc)
+		}
+	}
+}
+
+func TestWriteCSVShape(t *testing.T) {
+	res, err := Run(tinySpec(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(res.Cells)+1 {
+		t.Fatalf("CSV has %d rows, want %d cells + header", len(rows), len(res.Cells))
+	}
+	if !reflect.DeepEqual(rows[0], csvHeader) {
+		t.Errorf("CSV header = %v", rows[0])
+	}
+	for i, row := range rows[1:] {
+		if len(row) != len(csvHeader) {
+			t.Fatalf("row %d has %d columns, want %d", i, len(row), len(csvHeader))
+		}
+	}
+	// Baseline row has empty deltas; every other row has a delta_success.
+	if rows[1][12] != "" || rows[1][13] != "" {
+		t.Error("baseline CSV row carries deltas")
+	}
+	if rows[2][12] == "" {
+		t.Error("non-baseline CSV row missing delta_success")
+	}
+}
