@@ -27,6 +27,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/probe"
 	"repro/internal/psd"
+	"repro/internal/scenario"
 	"repro/internal/xrand"
 )
 
@@ -406,6 +407,30 @@ func BenchmarkMicro_LatticeHNPToy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, ok := lattice.HNP(c.N, leaks, func(d *big.Int) bool { return d.Cmp(key.D) == 0 }); !ok {
 			b.Fatal("HNP failed")
+		}
+	}
+}
+
+// --- End-to-end scenarios (internal/scenario) --------------------------------
+
+// BenchmarkScenario_E2EExtract times one full §7.3 pipeline trial —
+// training, eviction-set construction, PSD scan, and Parallel-Probing
+// extraction — through the scenario registry: the whole-attack
+// regression number the benchmark guard tracks.
+func BenchmarkScenario_E2EExtract(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.Run("e2e/extract", 1, 1, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenario_CovertChannel times one covert-channel scenario
+// trial (build the shared set, run the channel).
+func BenchmarkScenario_CovertChannel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.Run("covert/channel", 1, 1, uint64(i)+1); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,0 +1,128 @@
+// Command llcattack runs end-to-end attack scenarios from the registry
+// in internal/scenario: each trial executes one FULL pipeline (eviction
+// sets -> PSD scan -> Parallel-Probing extraction -> optionally lattice
+// key recovery, or a covert channel) on a pooled simulated host, and the
+// report aggregates success rates (with Wilson 95% intervals), per-step
+// cycle budgets, and latency distributions across trials.
+//
+//	llcattack -list                                  # scenario ids
+//	llcattack -scenario e2e/keyrecovery -trials 8    # one report
+//
+// The report is JSON on stdout (or -o) and is byte-identical for every
+// -parallel value on the architecture that runs it; wall-clock timing
+// goes to stderr, never into the report (the determinism contract shared
+// with cmd/llcrepro and cmd/llcsweep).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its streams and exit code surfaced, so the golden
+// and determinism tests can execute the CLI in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("llcattack", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		id       = fs.String("scenario", "", "scenario id to run (see -list)")
+		trials   = fs.Int("trials", 8, "independent end-to-end trials")
+		seed     = fs.Uint64("seed", 1, "deterministic seed")
+		parallel = fs.Int("parallel", 0, "trial workers (0 = GOMAXPROCS, 1 = sequential); never changes the report")
+		outFile  = fs.String("o", "", "write the report to a file instead of stdout")
+		list     = fs.Bool("list", false, "list scenario ids")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *list {
+		for _, l := range scenario.List() {
+			fmt.Fprintln(stdout, l)
+		}
+		return 0
+	}
+	if *id == "" {
+		fmt.Fprintln(stderr, "usage: llcattack -scenario <id> [-trials N] [-seed S] [-parallel K] | -list")
+		return 2
+	}
+	if _, ok := scenario.Lookup(*id); !ok {
+		fmt.Fprintf(stderr, "llcattack: unknown scenario %q; try -list\n", *id)
+		return 2
+	}
+	if *trials < 1 {
+		fmt.Fprintf(stderr, "llcattack: trials must be >= 1, got %d\n", *trials)
+		return 2
+	}
+
+	// With -o, write to a temp file in the target directory and rename
+	// into place only on full success, so a failed run never truncates a
+	// previous report (the llcsweep convention).
+	out := stdout
+	var file *os.File
+	var tmpPath string
+	if *outFile != "" {
+		f, err := os.CreateTemp(filepath.Dir(*outFile), filepath.Base(*outFile)+".tmp-*")
+		if err != nil {
+			fmt.Fprintf(stderr, "llcattack: %v\n", err)
+			return 1
+		}
+		file = f
+		tmpPath = f.Name()
+		out = f
+	}
+	fail := func(err error) int {
+		if file != nil {
+			file.Close()
+			os.Remove(tmpPath)
+		}
+		fmt.Fprintf(stderr, "llcattack: %v\n", err)
+		return 1
+	}
+	if file != nil {
+		if err := file.Chmod(0o644); err != nil {
+			return fail(err)
+		}
+	}
+
+	start := time.Now()
+	rep, err := scenario.Run(*id, *trials, *parallel, *seed)
+	if err != nil {
+		return fail(err)
+	}
+	// Wall time goes to stderr so the report stays byte-identical across
+	// runs and worker counts.
+	fmt.Fprintf(stderr, "llcattack: %s x %d trials, %d/%d succeeded, wall time %s\n",
+		*id, *trials, rep.Aggregate.Successes, *trials, time.Since(start).Round(time.Millisecond))
+	err = rep.WriteJSON(out)
+	if file == nil {
+		if err != nil {
+			fmt.Fprintf(stderr, "llcattack: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if cerr := file.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmpPath, *outFile); err != nil {
+		return fail(err)
+	}
+	return 0
+}

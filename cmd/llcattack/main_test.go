@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from the current output")
+
+// TestKeyRecoveryGolden is the byte-level regression gate on the full
+// attack chain: a fixed-seed `llcattack -scenario e2e/keyrecovery` run
+// must recover the victim's sect163 private key (the scenario sets
+// KeyRecovered only when the recovered d equals the ground-truth key)
+// and reproduce the committed JSON report exactly, at any worker count,
+// on the architecture that generated it (cross-architecture runs may
+// shift a float summary by a last ulp via fused multiply-add). If a
+// change is intentional, regenerate with
+// `go test ./cmd/llcattack -run TestKeyRecoveryGolden -update`.
+func TestKeyRecoveryGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end key recovery is slow")
+	}
+	args := []string{"-scenario", "e2e/keyrecovery", "-trials", "2", "-seed", "2"}
+	golden := filepath.Join("testdata", "keyrecovery_trials2_seed2.golden.json")
+
+	for _, workers := range []int{1, 8} {
+		var stdout, stderr bytes.Buffer
+		if code := run(append(args, "-parallel", strconv.Itoa(workers)), &stdout, &stderr); code != 0 {
+			t.Fatalf("run exited %d: %s", code, stderr.String())
+		}
+		if *update && workers == 1 {
+			if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("rewrote %s (%d bytes)", golden, stdout.Len())
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden file (run with -update to create it): %v", err)
+		}
+		if !bytes.Equal(stdout.Bytes(), want) {
+			t.Errorf("-parallel=%d output drifted from %s:\ngot:\n%s\nwant:\n%s",
+				workers, golden, stdout.Bytes(), want)
+		}
+	}
+
+	// The committed artifact itself must certify a full key recovery:
+	// every trial's recovered key matched the victim's ground truth.
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Trials    int `json:"trials"`
+		Aggregate struct {
+			Successes     int `json:"successes"`
+			KeysRecovered int `json:"keys_recovered"`
+		} `json:"aggregate"`
+		Outcomes []struct {
+			KeyRecovered bool `json:"key_recovered"`
+		} `json:"outcomes"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("golden is not a report: %v", err)
+	}
+	if rep.Trials != 2 || rep.Aggregate.KeysRecovered != 2 || rep.Aggregate.Successes != 2 {
+		t.Fatalf("golden does not certify full key recovery: %+v", rep.Aggregate)
+	}
+	for i, o := range rep.Outcomes {
+		if !o.KeyRecovered {
+			t.Fatalf("trial %d did not recover the key", i)
+		}
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"-scenario", "nope"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown scenario: exit %d, want 2", code)
+	}
+	if code := run([]string{"-scenario", "scan/psd", "-trials", "0"}, &stdout, &stderr); code != 2 {
+		t.Errorf("zero trials: exit %d, want 2", code)
+	}
+	stdout.Reset()
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 || stdout.Len() == 0 {
+		t.Errorf("-list: exit %d, output %q", code, stdout.String())
+	}
+}

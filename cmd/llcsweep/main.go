@@ -39,6 +39,10 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/sweep"
+
+	// Register the end-to-end attack scenarios as sweepable cell
+	// experiments ("scenario/<id>" ids in -list).
+	_ "repro/internal/scenario"
 )
 
 func main() {

@@ -1,64 +1,44 @@
 // Covert channel: a sender and a receiver in different tenants agree on
-// one SF set and communicate through it (§6.1's evaluation harness). The
-// receiver compares the paper's three monitoring strategies — PS-Flush,
-// PS-Alt and Parallel Probing — under Cloud Run noise.
+// one SF set and communicate through it (§6.1), as a thin wrapper over
+// the scenario registry. Each trial builds the shared eviction set with
+// BinSearch and runs the channel with Parallel Probing at a 5k-cycle
+// sender interval; the degraded variant repeats the experiment under a
+// noisy neighbor hammering the LLC at 3x the Cloud Run background rate.
+// The same pipelines run from the command line as
+// `llcattack -scenario covert/channel[/noisy]`.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
-	"repro/internal/clock"
-	"repro/internal/evset"
-	"repro/internal/hierarchy"
-	"repro/internal/memory"
-	"repro/internal/probe"
-	"repro/internal/stats"
+	"repro/internal/scenario"
 )
 
 func main() {
-	cfg := hierarchy.Scaled(4).WithCloudNoise()
+	var (
+		seed     = flag.Uint64("seed", 1234, "deterministic seed")
+		trials   = flag.Int("trials", 6, "independent channel trials")
+		parallel = flag.Int("parallel", 0, "trial workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
 
-	fmt.Println("strategy  | interval | detection | prime (mean±std) | probe (mean±std)")
-	fmt.Println("----------+----------+-----------+------------------+-----------------")
-	for _, interval := range []clock.Cycles{2000, 10000, 100000} {
-		for _, strat := range []probe.Strategy{probe.Parallel, probe.PSFlush, probe.PSAlt} {
-			env, lines, alt, sender := setup(cfg, 1234+uint64(interval))
-			m := probe.NewMonitor(env, strat, lines).WithAlt(alt)
-			res := probe.RunCovertChannel(env, m, 2, sender, interval, 400)
-			fmt.Printf("%-9s | %8d | %8.1f%% | %6.0f ± %-6.0f | %5.0f ± %.0f\n",
-				strat, interval, 100*res.DetectionRate,
-				stats.Mean(res.PrimeLatency), stats.Stddev(res.PrimeLatency),
-				stats.Mean(res.ProbeLatency), stats.Stddev(res.ProbeLatency))
+	fmt.Println("scenario             | usable | detection | capacity (bits/s)")
+	fmt.Println("---------------------+--------+-----------+------------------")
+	for _, id := range []string{"covert/channel", "covert/channel/noisy"} {
+		rep, err := scenario.Run(id, *trials, *parallel, *seed)
+		if err != nil {
+			log.Fatal(err)
 		}
-	}
-	fmt.Println("\npaper (Table 5 / Figure 6): Parallel prime ~1.1k cycles and >84% detection")
-	fmt.Println("at 2k-cycle intervals; PS-Flush prime ~6k cycles, 15.4%; PS-Alt 6.0%.")
-}
-
-// setup builds the shared SF set for one run: an eviction set for the
-// receiver, a second one for PS-Alt, and a congruent line for the sender.
-func setup(cfg hierarchy.Config, seed uint64) (*evset.Env, []memory.VAddr, []memory.VAddr, memory.PAddr) {
-	h := hierarchy.NewHost(cfg, seed)
-	env := evset.NewEnv(h, seed^0xcc)
-	pool := evset.NewCandidates(env, 2*evset.DefaultPoolSize(cfg), 0)
-	res := evset.BuildSF(env, evset.BinSearch{}, pool.Addrs[0], pool.Addrs[1:], evset.DefaultOptions())
-	if !res.OK {
-		log.Fatal("could not build the shared eviction set")
-	}
-	target := env.Main.SetOf(res.Set.Ta)
-	used := map[memory.VAddr]bool{}
-	for _, va := range res.Set.Lines {
-		used[va] = true
-	}
-	var extra []memory.VAddr
-	for _, va := range pool.Addrs {
-		if va != res.Set.Ta && !used[va] && env.Main.SetOf(va) == target {
-			extra = append(extra, va)
+		agg := rep.Aggregate
+		rate := 0.0
+		if agg.BitsTotal > 0 {
+			rate = float64(agg.BitsRecovered) / float64(agg.BitsTotal)
 		}
+		fmt.Printf("%-20s | %2d/%-2d  | %8.1f%% | %8.0f\n",
+			id, agg.Successes, agg.Trials, 100*rate, agg.CapacityBpsMean)
 	}
-	if len(extra) < cfg.SFWays+1 {
-		log.Fatal("not enough congruent lines for the alt set and sender")
-	}
-	return env, res.Set.Lines, extra[:cfg.SFWays], env.Main.Translate(extra[cfg.SFWays])
+	fmt.Println("\npaper (Table 5 / Figure 6): Parallel Probing sustains >84% detection at")
+	fmt.Println("2k-cycle intervals where PS-Flush reaches 15.4% and PS-Alt 6.0%.")
 }

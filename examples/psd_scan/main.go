@@ -1,70 +1,41 @@
-// PSD scan walkthrough (§6.2, §7.2): how the attacker finds the victim's
-// target SF set among hundreds of candidates. Traces are captured from
-// every eviction set while the victim signs; Welch power spectral density
-// exposes the victim's ~0.41 MHz access periodicity; an SVM over PSD
-// features makes the call.
+// PSD scan: how the attacker finds the victim's target SF set among
+// hundreds of candidates (§6.2, §7.2), as a thin wrapper over the
+// scenario registry. Each trial trains the Welch-PSD SVM scanner in the
+// controlled setup, builds eviction sets for every SF set at the
+// victim's page offset, and scans while the victim signs until the
+// target is identified. Success requires identifying the CORRECT set
+// (privileged ground-truth check, as in Table 6). The same pipeline runs
+// from the command line as `llcattack -scenario scan/psd`.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 
-	"repro/internal/attack"
 	"repro/internal/clock"
-	"repro/internal/dsp"
-	"repro/internal/ec2m"
-	"repro/internal/evset"
-	"repro/internal/hierarchy"
-	"repro/internal/psd"
-	"repro/internal/xrand"
+	"repro/internal/scenario"
 )
 
 func main() {
-	seed := flag.Uint64("seed", 5, "deterministic seed")
+	var (
+		seed     = flag.Uint64("seed", 5, "deterministic seed")
+		trials   = flag.Int("trials", 4, "independent scan trials")
+		parallel = flag.Int("parallel", 0, "trial workers (0 = GOMAXPROCS)")
+	)
 	flag.Parse()
 
-	cfg := hierarchy.Scaled(4).WithCloudNoise()
-	train := attack.NewSession(cfg, ec2m.Sect163(), *seed^0xbeef)
-	p := psd.DefaultParams(train.V.ExpectedAccessPeriod())
-	f0 := 1.0 / train.V.ExpectedAccessPeriod()
-	fmt.Printf("expected victim frequency: f0 = %.2f MHz (period %.0f cycles)\n",
-		2000*f0, train.V.ExpectedAccessPeriod())
-
-	// Show the raw PSD contrast first (Figure 7).
-	td := train.CollectTrainingData(p, 3, 3)
-	show := func(name string, times []clock.Cycles, start, end clock.Cycles) {
-		sig := dsp.BinTrace(u64s(times), uint64(start), uint64(end), uint64(p.BinCycles))
-		spec := dsp.Welch(sig, 1/float64(p.BinCycles), dsp.DefaultWelch())
-		floor := spec.MedianPower()
-		fmt.Printf("  %-10s accesses=%3d  peak@f0=%6.1fx floor  peak@2f0=%6.1fx floor\n",
-			name, len(times), spec.PeakNear(f0, f0*0.15)/floor, spec.PeakNear(2*f0, f0*0.15)/floor)
+	rep, err := scenario.Run("scan/psd", *trials, *parallel, *seed)
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println("\nFigure 7 contrast:")
-	show("target", td.Target[0].Times, td.Target[0].Start, td.Target[0].End)
-	show("non-target", td.NonTarget[0].Times, td.NonTarget[0].Start, td.NonTarget[0].End)
-
-	// Train the SVM and run a real scan on a fresh host (Table 6).
-	scanner, m := psd.TrainScanner(p, td.Target, td.NonTarget, xrand.New(*seed^0x5))
-	fmt.Printf("\nSVM validation: FN=%.1f%% FP=%.1f%%\n", 100*m.FalseNegativeRate(), 100*m.FalsePositiveRate())
-
-	s := attack.NewSession(cfg, ec2m.Sect163(), *seed)
-	bulk := s.BuildEvictionSets(evset.BulkOptions{Algo: evset.BinSearch{}, PerSet: evset.FilteredOptions()})
-	fmt.Printf("built eviction sets for %d SF sets at the victim's page offset\n", len(bulk.Sets))
-
-	res := s.ScanForTarget(bulk.Sets, scanner, attack.ScanOptions{Timeout: clock.FromMillis(60_000)})
-	if !res.Found {
-		fmt.Println("scan timed out without a positive")
-		return
+	agg := rep.Aggregate
+	fmt.Printf("scan/psd: %s\n", rep.Desc)
+	fmt.Printf("%d/%d trials identified the correct set (success rate %.0f%%, Wilson 95%% [%.0f%%, %.0f%%])\n",
+		agg.Successes, agg.Trials, 100*agg.SuccessRate, 100*agg.SuccessLo, 100*agg.SuccessHi)
+	for _, s := range agg.Steps {
+		fmt.Printf("  step %-6s reached %d, ok %d (%.0f%%), median %.2f ms\n",
+			s.Name, s.Reached, s.Successes, 100*s.SuccessRate, clock.Cycles(s.CyclesMedian).Millis())
 	}
-	fmt.Printf("target identified after %d set-traces in %.1f ms (%.0f sets/s) — ground truth: correct=%v\n",
-		res.Scanned, res.Duration.Millis(), res.RatePerSecond(), res.Correct)
-	fmt.Println("(paper Table 6: 94.1% success in 6.1 s at ~831 sets/s under PageOffset)")
-}
-
-func u64s(ts []clock.Cycles) []uint64 {
-	out := make([]uint64, len(ts))
-	for i, t := range ts {
-		out[i] = uint64(t)
-	}
-	return out
+	fmt.Println("\npaper Table 6: 94.1% success in 6.1 s at ~831 sets/s under PageOffset")
 }

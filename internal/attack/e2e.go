@@ -40,6 +40,11 @@ type E2EResult struct {
 	// Step 3: per-signature extraction fractions and error rates.
 	Fractions  []float64
 	ErrorRates []float64
+	// Exact bit accounting across all monitored traces: ladder iterations
+	// observed, bits recovered, and recovered bits that were wrong.
+	BitsTotal     int
+	BitsRecovered int
+	BitsWrong     int
 	// Totals.
 	TotalTime clock.Cycles
 	// SignalFound is the paper's per-host success notion: a potential
@@ -94,6 +99,9 @@ func (s *Session) RunEndToEnd(scanner *psd.Scanner, ex *Extractor, opt E2EOption
 		sc := ScoreExtraction(bits, rec, ex.IterCycles)
 		res.Fractions = append(res.Fractions, sc.Fraction())
 		res.ErrorRates = append(res.ErrorRates, sc.ErrorRate())
+		res.BitsTotal += sc.Total
+		res.BitsRecovered += sc.Recovered
+		res.BitsWrong += sc.Wrong
 	}
 	res.TotalTime = s.H.Clock().Now() - t0
 	return res

@@ -1,6 +1,8 @@
 package attack
 
 import (
+	"sort"
+
 	"repro/internal/evset"
 	"repro/internal/hierarchy"
 	"repro/internal/memory"
@@ -82,12 +84,25 @@ func (s *Session) CollectTrainingData(p psd.Params, targetTraces, nonTargetTrace
 	}
 
 	// Non-target sets: the victim's hot lines first (the MAdd/MDouble
-	// near-false-positives of §7.2), then arbitrary other sets.
+	// near-false-positives of §7.2), then arbitrary other sets — visited
+	// in sorted order, never map order: training-set selection feeds the
+	// classifiers, so a nondeterministic pick here would break the
+	// byte-identical-report contract of every downstream harness.
 	var nonTargetIDs []hierarchy.SetID
 	for _, hl := range s.V.Layout.HotLines {
 		nonTargetIDs = append(nonTargetIDs, s.V.Agent().SetOf(hl))
 	}
+	poolIDs := make([]hierarchy.SetID, 0, len(tp.bySet))
 	for id := range tp.bySet {
+		poolIDs = append(poolIDs, id)
+	}
+	sort.Slice(poolIDs, func(a, b int) bool {
+		if poolIDs[a].Slice != poolIDs[b].Slice {
+			return poolIDs[a].Slice < poolIDs[b].Slice
+		}
+		return poolIDs[a].Index < poolIDs[b].Index
+	})
+	for _, id := range poolIDs {
 		if id != s.V.TargetSet() {
 			nonTargetIDs = append(nonTargetIDs, id)
 		}

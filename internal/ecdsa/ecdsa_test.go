@@ -104,3 +104,76 @@ func TestRandScalarInRange(t *testing.T) {
 		}
 	}
 }
+
+// Failure-path coverage: degenerate nonces and malformed signatures must
+// produce clean errors/rejections, never a bogus signature or a
+// verification pass.
+
+func TestSignWithDegenerateNonces(t *testing.T) {
+	c := ec2m.ToyCurve()
+	rng := xrand.New(5)
+	key := GenerateKey(c, rng)
+	z := big.NewInt(777)
+	for _, tc := range []struct {
+		name  string
+		nonce *big.Int
+	}{
+		{"zero", big.NewInt(0)},
+		{"multiple of n", new(big.Int).Set(c.N)},
+		{"2n", new(big.Int).Lsh(c.N, 1)},
+	} {
+		if _, err := key.SignWithNonce(z, tc.nonce, nil); err == nil {
+			t.Errorf("%s nonce: expected an error", tc.name)
+		}
+	}
+}
+
+func TestVerifyRejectsMalformedSignatures(t *testing.T) {
+	c := ec2m.ToyCurve()
+	rng := xrand.New(6)
+	key := GenerateKey(c, rng)
+	z := big.NewInt(4242)
+	sig, _, err := key.Sign(z, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(key, z, sig) {
+		t.Fatal("control signature did not verify")
+	}
+	bad := []Signature{
+		{R: nil, S: sig.S},
+		{R: sig.R, S: nil},
+		{R: big.NewInt(0), S: sig.S},
+		{R: sig.R, S: big.NewInt(0)},
+		{R: new(big.Int).Neg(sig.R), S: sig.S},
+		{R: sig.R, S: new(big.Int).Neg(sig.S)},
+		{R: new(big.Int).Set(c.N), S: sig.S},
+		{R: sig.R, S: new(big.Int).Set(c.N)},
+		{R: new(big.Int).Add(c.N, big.NewInt(1)), S: sig.S},
+	}
+	for i, b := range bad {
+		if Verify(key, z, b) {
+			t.Errorf("malformed signature %d verified: %+v", i, b)
+		}
+	}
+}
+
+// TestVerifyRejectsWrongKey: a signature must not verify under another
+// key pair (the scenario's key-recovery check depends on this).
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	c := ec2m.ToyCurve()
+	rng := xrand.New(7)
+	key := GenerateKey(c, rng)
+	other := GenerateKey(c, rng)
+	if key.D.Cmp(other.D) == 0 {
+		t.Skip("improbable: same key drawn twice")
+	}
+	z := big.NewInt(31337)
+	sig, _, err := key.Sign(z, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Verify(other, z, sig) {
+		t.Fatal("signature verified under the wrong public key")
+	}
+}

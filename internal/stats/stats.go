@@ -228,6 +228,33 @@ func (h *Histogram) Mode() float64 {
 	return h.BinCenter(best)
 }
 
+// Wilson returns the Wilson score confidence interval for a binomial
+// proportion: k successes out of n trials at normal quantile z (1.96 for
+// 95%). Unlike the normal approximation it stays inside [0, 1] and
+// behaves sensibly at k = 0 and k = n, which is what the scenario
+// harness needs for success rates estimated from a handful of whole-
+// pipeline trials. n = 0 returns the vacuous interval [0, 1].
+func Wilson(k, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	nf := float64(n)
+	p := float64(k) / nf
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := p + z2/(2*nf)
+	half := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = (center - half) / denom
+	hi = (center + half) / denom
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
 // Counter tracks success/failure outcomes.
 type Counter struct {
 	Success int

@@ -151,3 +151,27 @@ func TestCDFPoints(t *testing.T) {
 		}
 	}
 }
+
+func TestWilson(t *testing.T) {
+	// Known value: 8/10 at z=1.96 gives roughly [0.490, 0.943].
+	lo, hi := Wilson(8, 10, 1.96)
+	if lo < 0.47 || lo > 0.51 || hi < 0.92 || hi > 0.96 {
+		t.Fatalf("Wilson(8,10) = [%.4f, %.4f], want ~[0.490, 0.943]", lo, hi)
+	}
+	// Edge cases stay inside [0,1] and behave at the boundaries.
+	if lo, hi = Wilson(0, 10, 1.96); lo != 0 || hi <= 0 || hi >= 1 {
+		t.Fatalf("Wilson(0,10) = [%.4f, %.4f]", lo, hi)
+	}
+	if lo, hi = Wilson(10, 10, 1.96); hi != 1 || lo <= 0 || lo >= 1 {
+		t.Fatalf("Wilson(10,10) = [%.4f, %.4f]", lo, hi)
+	}
+	if lo, hi = Wilson(0, 0, 1.96); lo != 0 || hi != 1 {
+		t.Fatalf("Wilson(0,0) = [%.4f, %.4f], want [0, 1]", lo, hi)
+	}
+	// The interval tightens as n grows at fixed p.
+	lo10, hi10 := Wilson(5, 10, 1.96)
+	lo100, hi100 := Wilson(50, 100, 1.96)
+	if hi100-lo100 >= hi10-lo10 {
+		t.Fatalf("interval did not tighten: n=10 width %.4f, n=100 width %.4f", hi10-lo10, hi100-lo100)
+	}
+}

@@ -6,6 +6,9 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	// Register the end-to-end attack scenarios as cell experiments.
+	_ "repro/internal/scenario"
 )
 
 // tinySpec is a fast 2x2 grid used by most tests.
@@ -185,5 +188,44 @@ func TestWriteCSVShape(t *testing.T) {
 	}
 	if rows[2][12] == "" {
 		t.Error("non-baseline CSV row missing delta_success")
+	}
+}
+
+// TestScenarioCellSweep places a whole end-to-end attack (a scenario
+// registered as a cell experiment) into a sweep grid and checks the
+// artifact is worker-invariant, like any micro-experiment cell.
+func TestScenarioCellSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario pipelines are slow")
+	}
+	spec := Spec{
+		Experiments: []string{"scenario/scan/psd"},
+		Policies:    []string{"LRU"},
+		SFAssocs:    []int{8},
+		Slices:      []int{4},
+		NoiseRates:  []float64{11.5},
+		Trials:      2,
+		Seed:        7,
+	}
+	var arts [][]byte
+	for _, workers := range []int{1, 8} {
+		res, err := Run(spec, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Cells) != 1 || res.Cells[0].Experiment != "scenario/scan/psd" {
+			t.Fatalf("unexpected cells: %+v", res.Cells)
+		}
+		if res.Cells[0].Unit != "cycles" || res.Cells[0].Trials != 2 {
+			t.Fatalf("scenario cell shape wrong: %+v", res.Cells[0])
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		arts = append(arts, buf.Bytes())
+	}
+	if !bytes.Equal(arts[0], arts[1]) {
+		t.Errorf("scenario-cell sweep artifact differs between worker counts:\n%s\n---\n%s", arts[0], arts[1])
 	}
 }

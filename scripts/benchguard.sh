@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# benchguard.sh — benchmark regression guard.
+#
+# Runs the repository benchmarks once (-benchtime=1x) and compares every
+# ns/op against the committed baseline in BENCH_seed.json with a ±20%
+# tolerance: a benchmark more than 20% slower than its baseline fails
+# the guard; faster-than-baseline results are reported as improvements.
+#
+# One-shot timings are noisy and baselines are machine-specific, so CI
+# runs this step advisorily (continue-on-error); locally, regenerate the
+# baseline after an intentional change with:
+#
+#   scripts/benchguard.sh --update
+#
+# Exit codes: 0 = within tolerance, 1 = regression(s), 2 = harness error.
+set -u
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${BENCH_TOLERANCE:-0.20}"
+BASELINE=BENCH_seed.json
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+if ! go test -bench=. -benchtime=1x -run '^$' . >"$OUT" 2>&1; then
+    echo "benchguard: benchmark run failed:" >&2
+    cat "$OUT" >&2
+    exit 2
+fi
+
+if [ "${1:-}" = "--update" ]; then
+    python3 - "$OUT" "$BASELINE" <<'EOF'
+import json, re, sys
+out, baseline = sys.argv[1], sys.argv[2]
+bench = {}
+for line in open(out):
+    m = re.match(r'^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op', line)
+    if m:
+        bench[m.group(1)] = {"ns_per_op": float(m.group(2))}
+doc = {
+    "note": "baseline from go test -bench=. -benchtime=1x (1-shot timings; "
+            "machine-specific — compare trajectories, not single runs; "
+            "regenerate with scripts/benchguard.sh --update)",
+    "benchmarks": bench,
+}
+with open(baseline, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"benchguard: wrote {baseline} with {len(bench)} benchmarks")
+EOF
+    exit $?
+fi
+
+python3 - "$OUT" "$BASELINE" "$TOLERANCE" <<'EOF'
+import json, re, sys
+out, baseline, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+base = json.load(open(baseline))["benchmarks"]
+got = {}
+for line in open(out):
+    m = re.match(r'^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op', line)
+    if m:
+        got[m.group(1)] = float(m.group(2))
+regressions, missing = [], []
+for name, entry in sorted(base.items()):
+    want = entry["ns_per_op"]
+    if name not in got:
+        missing.append(name)
+        continue
+    ratio = got[name] / want
+    if ratio > 1 + tol:
+        regressions.append((name, want, got[name], ratio))
+    elif ratio < 1 - tol:
+        print(f"improvement: {name}: {want:.0f} -> {got[name]:.0f} ns/op ({ratio:.2f}x)")
+new = sorted(set(got) - set(base))
+if new:
+    print(f"note: benchmarks missing from {baseline} (add with --update): {', '.join(new)}")
+if missing:
+    print(f"note: baseline benchmarks that did not run: {', '.join(missing)}")
+if regressions:
+    print(f"benchguard: {len(regressions)} regression(s) beyond +{tol:.0%}:")
+    for name, want, have, ratio in regressions:
+        print(f"  {name}: {want:.0f} -> {have:.0f} ns/op ({ratio:.2f}x)")
+    sys.exit(1)
+print(f"benchguard: {len(got)} benchmarks within +{tol:.0%} of {baseline}")
+EOF
