@@ -28,6 +28,7 @@ import (
 	"repro/internal/probe"
 	"repro/internal/psd"
 	"repro/internal/scenario"
+	"repro/internal/tenant"
 	"repro/internal/xrand"
 )
 
@@ -433,4 +434,43 @@ func BenchmarkScenario_CovertChannel(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Background tenant models (internal/tenant) ------------------------------
+
+// benchTenant times the host's lazy noise-sync path under one tenant
+// model: alternating idle windows (which accumulate tenant activity)
+// with demand accesses (which sync it), the access pattern every
+// monitoring protocol reduces to.
+func benchTenant(b *testing.B, spec tenant.Spec) {
+	b.Helper()
+	cfg := hierarchy.Scaled(4).WithTenants(spec)
+	h := hierarchy.NewHost(cfg, 1)
+	a := h.NewAgent(0)
+	buf := a.Alloc(256)
+	addrs := make([]memory.VAddr, 256)
+	for i := range addrs {
+		addrs[i] = buf.LineAt(i, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%16 == 0 {
+			a.Idle(100_000)
+		}
+		a.Access(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkTenant_Burst(b *testing.B) {
+	benchTenant(b, tenant.Spec{Model: "burst", Rate: 34.5, LLCProb: 0.5, OnFrac: 0.1, OnMs: 2})
+}
+
+func BenchmarkTenant_Stream(b *testing.B) {
+	benchTenant(b, tenant.Spec{Model: "stream", Rate: 34.5, LLCProb: 0.5, Width: 4})
+}
+
+func BenchmarkTenant_Churn(b *testing.B) {
+	benchTenant(b, tenant.Spec{Model: "churn", Rate: 11.5, LLCProb: 0.5,
+		ArrivalsPerMs: 0.05, LifeMs: 5, FootprintFrac: 0.5})
 }

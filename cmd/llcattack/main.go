@@ -5,8 +5,9 @@
 // report aggregates success rates (with Wilson 95% intervals), per-step
 // cycle budgets, and latency distributions across trials.
 //
-//	llcattack -list                                  # scenario ids
+//	llcattack -list                                  # scenario ids + tenant models
 //	llcattack -scenario e2e/keyrecovery -trials 8    # one report
+//	llcattack -scenario e2e/extract -tenants "burst:rate=34.5,on_frac=0.1"
 //
 // The report is JSON on stdout (or -o) and is byte-identical for every
 // -parallel value on the architecture that runs it; wall-clock timing
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/scenario"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -40,8 +42,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trials   = fs.Int("trials", 8, "independent end-to-end trials")
 		seed     = fs.Uint64("seed", 1, "deterministic seed")
 		parallel = fs.Int("parallel", 0, "trial workers (0 = GOMAXPROCS, 1 = sequential); never changes the report")
+		tenants  = fs.String("tenants", "", "background-tenant override: ';'-separated specs (\"burst:rate=34.5,on_frac=0.1\") or JSON (see -list)")
 		outFile  = fs.String("o", "", "write the report to a file instead of stdout")
-		list     = fs.Bool("list", false, "list scenario ids")
+		list     = fs.Bool("list", false, "list scenario ids and tenant models")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -53,10 +56,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, l := range scenario.List() {
 			fmt.Fprintln(stdout, l)
 		}
+		fmt.Fprintln(stdout, "\ntenant models (-tenants \"model:key=value,...\"):")
+		for _, l := range tenant.ModelList() {
+			fmt.Fprintln(stdout, l)
+		}
 		return 0
 	}
+	specs, err := tenant.ParseList(*tenants)
+	if err != nil {
+		fmt.Fprintf(stderr, "llcattack: %v\n", err)
+		return 2
+	}
 	if *id == "" {
-		fmt.Fprintln(stderr, "usage: llcattack -scenario <id> [-trials N] [-seed S] [-parallel K] | -list")
+		fmt.Fprintln(stderr, "usage: llcattack -scenario <id> [-trials N] [-seed S] [-parallel K] [-tenants SPEC] | -list")
 		return 2
 	}
 	if _, ok := scenario.Lookup(*id); !ok {
@@ -99,7 +111,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	start := time.Now()
-	rep, err := scenario.Run(*id, *trials, *parallel, *seed)
+	rep, err := scenario.RunTenants(*id, specs, *trials, *parallel, *seed)
 	if err != nil {
 		return fail(err)
 	}

@@ -78,6 +78,65 @@ func TestKeyRecoveryGolden(t *testing.T) {
 	}
 }
 
+// TestStreamTenantGolden pins one structured-tenant scenario variant
+// byte-for-byte: covert/channel/stream (a streaming background tenant
+// sweeping set indices) at a fixed seed, identical at any worker count.
+// Regenerate after an intentional change with
+// `go test ./cmd/llcattack -run TestStreamTenantGolden -update`.
+func TestStreamTenantGolden(t *testing.T) {
+	args := []string{"-scenario", "covert/channel/stream", "-trials", "4", "-seed", "5"}
+	golden := filepath.Join("testdata", "covertstream_trials4_seed5.golden.json")
+
+	for _, workers := range []int{1, 8} {
+		var stdout, stderr bytes.Buffer
+		if code := run(append(args, "-parallel", strconv.Itoa(workers)), &stdout, &stderr); code != 0 {
+			t.Fatalf("run exited %d: %s", code, stderr.String())
+		}
+		if *update && workers == 1 {
+			if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("rewrote %s (%d bytes)", golden, stdout.Len())
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden file (run with -update to create it): %v", err)
+		}
+		if !bytes.Equal(stdout.Bytes(), want) {
+			t.Errorf("-parallel=%d output drifted from %s:\ngot:\n%s\nwant:\n%s",
+				workers, golden, stdout.Bytes(), want)
+		}
+	}
+}
+
+// TestTenantsFlag covers the -tenants override path: a bad spec is a
+// usage error; a good spec is recorded in the report.
+func TestTenantsFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-scenario", "scan/psd", "-tenants", "warp:rate=1"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad tenant spec: exit %d, want 2", code)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	code := run([]string{"-scenario", "covert/channel", "-trials", "1", "-seed", "4",
+		"-tenants", "burst:rate=34.5,on_frac=0.2"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("tenant override run exited %d: %s", code, stderr.String())
+	}
+	var rep struct {
+		Tenants []struct {
+			Model string  `json:"model"`
+			Rate  float64 `json:"rate"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tenants) != 1 || rep.Tenants[0].Model != "burst" || rep.Tenants[0].Rate != 34.5 {
+		t.Errorf("report does not self-describe the tenant override: %+v", rep.Tenants)
+	}
+}
+
 func TestRunBadArgs(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run(nil, &stdout, &stderr); code != 2 {

@@ -6,7 +6,9 @@
 // over a worker pool; for a fixed -seed the reports are byte-identical at
 // every worker count, so -parallel only changes wall-clock time (timings
 // are printed to stderr, never into the report). -json emits the reports
-// as machine-readable JSON instead of text tables.
+// as machine-readable JSON instead of text tables. -tenants replaces
+// every experiment's environment noise with structured background
+// tenants (internal/tenant spec strings or JSON).
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -37,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed     = fs.Uint64("seed", 1, "deterministic seed")
 		trials   = fs.Int("trials", 0, "override trial counts (0 = default)")
 		parallel = fs.Int("parallel", 0, "trial workers per experiment (0 = GOMAXPROCS, 1 = sequential)")
+		tenants  = fs.String("tenants", "", "background-tenant override replacing the environment noise: ';'-separated specs or JSON (see -list)")
 		asJSON   = fs.Bool("json", false, "emit reports as JSON instead of text tables")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -50,9 +54,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, l := range experiments.List() {
 			fmt.Fprintln(stdout, l)
 		}
+		fmt.Fprintln(stdout, "\ntenant models (-tenants \"model:key=value,...\"):")
+		for _, l := range tenant.ModelList() {
+			fmt.Fprintln(stdout, l)
+		}
 		return 0
 	}
-	opt := experiments.Options{Seed: *seed, Full: *full, Trials: *trials, Workers: *parallel}
+	specs, err := tenant.ParseList(*tenants)
+	if err != nil {
+		fmt.Fprintf(stderr, "llcrepro: %v\n", err)
+		return 2
+	}
+	opt := experiments.Options{Seed: *seed, Full: *full, Trials: *trials, Workers: *parallel, Tenants: specs}
 	ids := []string{}
 	switch {
 	case *all:

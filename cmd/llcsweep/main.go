@@ -1,6 +1,7 @@
 // Command llcsweep runs a configuration sweep: a declarative grid of
 // replacement policy x SF associativity x slice count x noise rate x
-// cell experiment, expanded by internal/sweep and executed on the
+// tenant workload model x cell experiment, expanded by internal/sweep
+// and executed on the
 // parallel trial engine. The aggregated artifact (JSON by default, CSV
 // with -csv) goes to stdout (or -o) and is byte-identical for every
 // -parallel value and across runs on the same architecture (float
@@ -17,6 +18,7 @@
 //	  "sf_assocs": [8, 6],
 //	  "slices": [2, 4],
 //	  "noise_rates": [0.29, 11.5],
+//	  "tenant_models": ["poisson", "burst", "stream"],
 //	  "trials": 10,
 //	  "seed": 1
 //	}
@@ -39,6 +41,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/sweep"
+	"repro/internal/tenant"
 
 	// Register the end-to-end attack scenarios as sweepable cell
 	// experiments ("scenario/<id>" ids in -list).
@@ -59,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		assocs   = fs.String("assocs", "", "comma-separated SF associativities (LLC follows one way below)")
 		slices   = fs.String("slices", "", "comma-separated LLC/SF slice counts")
 		noise    = fs.String("noise", "", "comma-separated noise rates in accesses/ms/set (0.29=local, 11.5=Cloud Run)")
+		tmodels  = fs.String("tenant-models", "", "comma-separated background tenant models (poisson,burst,stream,hotset,churn; see -list)")
 		trials   = fs.Int("trials", 0, "trials per cell (0 = default 10)")
 		seed     = fs.Uint64("seed", 1, "deterministic seed (an explicit 0 is honoured)")
 		parallel = fs.Int("parallel", 0, "trial workers (0 = GOMAXPROCS, 1 = sequential); never changes the artifact")
@@ -74,6 +78,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *list {
 		for _, l := range experiments.CellList() {
+			fmt.Fprintln(stdout, l)
+		}
+		fmt.Fprintln(stdout, "\ntenant models (-tenant-models axis):")
+		for _, l := range tenant.ModelList() {
 			fmt.Fprintln(stdout, l)
 		}
 		return 0
@@ -112,6 +120,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if err == nil {
 		spec.NoiseRates, err = mergeFloats(spec.NoiseRates, *noise)
+	}
+	if err == nil {
+		spec.TenantModels, err = mergeStrings(spec.TenantModels, *tmodels)
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "llcsweep: %v\n", err)

@@ -74,20 +74,24 @@ func (t *Trial) Host(cfg hierarchy.Config, seed uint64) *hierarchy.Host {
 // hostPool caches one host per config for one worker. Hosts carry large
 // allocations (frame free-lists, per-slice cache arrays), so recycling
 // them drops the steady-state allocation rate of a trial to near zero.
+// The map keys on Config.Key (a deterministic fingerprint string):
+// Config itself stopped being a valid map key when it grew the Tenants
+// spec slice.
 type hostPool struct {
-	hosts map[hierarchy.Config]*hierarchy.Host
+	hosts map[string]*hierarchy.Host
 }
 
 func (p *hostPool) get(cfg hierarchy.Config, seed uint64) *hierarchy.Host {
-	if h, ok := p.hosts[cfg]; ok {
+	key := cfg.Key()
+	if h, ok := p.hosts[key]; ok {
 		h.Reset(seed)
 		return h
 	}
 	h := hierarchy.NewHost(cfg, seed)
 	if p.hosts == nil {
-		p.hosts = make(map[hierarchy.Config]*hierarchy.Host)
+		p.hosts = make(map[string]*hierarchy.Host)
 	}
-	p.hosts[cfg] = h
+	p.hosts[key] = h
 	return h
 }
 

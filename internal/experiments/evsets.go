@@ -396,16 +396,18 @@ func IceLake(o Options) *Report {
 			"L2:  SKX Gt 2.49ms GtOp 1.90ms BinS 1.33ms (1.87)         | ICX Gt 14.48ms GtOp 8.16ms BinS 2.28ms (6.35)",
 		},
 	}
+	// The machine configs go through o.tenants like localConfig/
+	// cloudConfig do, so a -tenants override reaches this runner too.
 	machines := []struct {
 		name string
 		cfg  hierarchy.Config
 	}{
-		{"Skylake-SP", hierarchy.SkylakeSP(4).WithQuiescentNoise()},
-		{"Ice Lake-SP", hierarchy.IceLakeSP(4).WithQuiescentNoise()},
+		{"Skylake-SP", o.tenants(hierarchy.SkylakeSP(4).WithQuiescentNoise())},
+		{"Ice Lake-SP", o.tenants(hierarchy.IceLakeSP(4).WithQuiescentNoise())},
 	}
 	if o.Full {
-		machines[0].cfg = hierarchy.SkylakeSP(22).WithQuiescentNoise()
-		machines[1].cfg = hierarchy.IceLakeSP(26).WithQuiescentNoise()
+		machines[0].cfg = o.tenants(hierarchy.SkylakeSP(22).WithQuiescentNoise())
+		machines[1].cfg = o.tenants(hierarchy.IceLakeSP(26).WithQuiescentNoise())
 	}
 	algos := []evset.Pruner{evset.GroupTesting{EarlyTermination: true}, evset.GroupTesting{}, evset.BinSearch{}}
 	n := trials(o, 10)

@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"repro/internal/hierarchy"
+	"repro/internal/tenant"
 )
 
 // Options configures a run.
@@ -44,6 +45,15 @@ type Options struct {
 	// GOMAXPROCS, 1 forces sequential execution). Reports are identical
 	// for every value; only wall-clock time changes.
 	Workers int
+	// Tenants, when non-empty, replaces every runner's environment noise
+	// (the quiescent-local and Cloud Run presets) with the given
+	// structured background tenants (cmd/llcrepro -tenants). Runners
+	// that sweep or rescale the noise rate (abl-noise, construction
+	// equivalent-noise scaling) still do: with tenants present,
+	// Config.WithNoiseRate rescales the tenants' total mean rate while
+	// preserving the mix, so intensity axes stay meaningful under an
+	// override.
+	Tenants []tenant.Spec
 }
 
 // Report is a rendered experiment result.
@@ -168,9 +178,9 @@ func IDs() []string {
 // 6152 at paper scale, a 4-slice scaled host otherwise.
 func localConfig(o Options) hierarchy.Config {
 	if o.Full {
-		return hierarchy.SkylakeSP(22).WithQuiescentNoise()
+		return o.tenants(hierarchy.SkylakeSP(22).WithQuiescentNoise())
 	}
-	return hierarchy.Scaled(4).WithQuiescentNoise()
+	return o.tenants(hierarchy.Scaled(4).WithQuiescentNoise())
 }
 
 // cloudConfig returns the Cloud Run host: the 28-slice Xeon Platinum
@@ -178,9 +188,20 @@ func localConfig(o Options) hierarchy.Config {
 // Run noise rate otherwise.
 func cloudConfig(o Options) hierarchy.Config {
 	if o.Full {
-		return hierarchy.SkylakeSP(28).WithCloudNoise()
+		return o.tenants(hierarchy.SkylakeSP(28).WithCloudNoise())
 	}
-	return hierarchy.Scaled(4).WithCloudNoise()
+	return o.tenants(hierarchy.Scaled(4).WithCloudNoise())
+}
+
+// tenants applies the run's tenant override to an environment config.
+// Tenants win over the legacy noise knobs inside the hierarchy (the
+// preset NoiseRate becomes inert), while later WithNoiseRate calls
+// rescale the tenants' total rate in place of the flat knob.
+func (o Options) tenants(cfg hierarchy.Config) hierarchy.Config {
+	if len(o.Tenants) == 0 {
+		return cfg
+	}
+	return cfg.WithTenants(o.Tenants...)
 }
 
 func trials(o Options, def int) int {

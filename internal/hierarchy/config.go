@@ -16,8 +16,10 @@
 // Timing is modelled in virtual cycles on a shared clock (internal/clock):
 // every access advances the clock by a jittered latency, and overlapped
 // ("parallel") accesses are charged an MLP-aware cost instead of the sum
-// of their latencies. Background tenant noise is injected lazily per
-// LLC/SF set as a Poisson process (§4.3 / Figure 2 of the paper).
+// of their latencies. Background tenant interference is injected lazily
+// per LLC/SF set by the workload models of internal/tenant — a flat
+// Poisson process by default (§4.3 / Figure 2 of the paper), or
+// structured burst/stream/hotset/churn tenants via Config.Tenants.
 package hierarchy
 
 import (
@@ -25,6 +27,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/memory"
+	"repro/internal/tenant"
 )
 
 // Level identifies where an access was served from.
@@ -118,12 +121,24 @@ type Config struct {
 
 	// NoiseRate is the background tenant access rate per LLC/SF set in
 	// accesses per cycle (paper §4.3: 11.5/ms on Cloud Run, 0.29/ms on a
-	// quiescent local machine, at 2 GHz).
+	// quiescent local machine, at 2 GHz). It is the legacy flat-Poisson
+	// knob, kept as a shim: when Tenants is empty and NoiseRate > 0 the
+	// host builds one "poisson" tenant from it (byte-identical to the
+	// pre-tenant noise path); when Tenants is non-empty both noise knobs
+	// are ignored.
 	NoiseRate float64
 	// NoiseLLCProb is the probability a background access also installs a
 	// line in the LLC set (tenant shared data / L2 victims), in addition
-	// to its SF allocation.
+	// to its SF allocation. Part of the legacy shim, like NoiseRate.
 	NoiseLLCProb float64
+
+	// Tenants declares structured background tenants (internal/tenant):
+	// burst phases, streaming scans, hot-set collisions, serverless
+	// churn, or several at once. When non-empty it replaces the flat
+	// NoiseRate/NoiseLLCProb process entirely. Note that a non-empty
+	// Tenants makes the Config non-comparable (callers that need a map
+	// key use Key).
+	Tenants []tenant.Spec
 
 	// MemoryBytes sizes the host's physical memory.
 	MemoryBytes uint64
@@ -182,7 +197,10 @@ func log2(n int) int {
 // Noise rate presets, converted from the paper's measured per-millisecond
 // rates at the 2 GHz host frequency.
 const (
-	cyclesPerMs = 2_000_000.0
+	// cyclesPerMs aliases tenant.CyclesPerMs rather than restating the
+	// literal: the poisson shim's byte-identity requires WithNoiseRate
+	// and tenant.Spec.Build to divide by the exact same float.
+	cyclesPerMs = tenant.CyclesPerMs
 	// CloudRunNoiseRate is 11.5 accesses/ms/set (paper §4.3).
 	CloudRunNoiseRate = 11.5 / cyclesPerMs
 	// QuiescentNoiseRate is 0.29 accesses/ms/set (paper §4.3).
@@ -262,12 +280,77 @@ func (c Config) WithQuiescentNoise() Config {
 	return c
 }
 
-// WithNoiseRate returns a copy with an explicit noise rate in accesses
-// per millisecond per set (the paper's unit).
+// WithNoiseRate returns a copy whose background workload exerts the
+// given mean pressure, in accesses per millisecond per set (the
+// paper's unit). On a legacy-knob config it sets NoiseRate; when
+// structured Tenants are present it instead rescales every tenant's
+// Rate so their TOTAL mean matches perMs while the mix between them is
+// preserved — so noise-rate axes (the abl-noise runner, construction
+// equivalent-noise scaling) keep sweeping intensity under a -tenants
+// override instead of becoming silently inert.
 func (c Config) WithNoiseRate(perMs float64) Config {
 	c.NoiseRate = perMs / cyclesPerMs
+	if len(c.Tenants) == 0 {
+		return c
+	}
+	total := 0.0
+	for _, sp := range c.Tenants {
+		total += sp.Rate
+	}
+	scaled := append([]tenant.Spec(nil), c.Tenants...)
+	for i := range scaled {
+		if total > 0 {
+			scaled[i].Rate *= perMs / total
+		} else {
+			// All-zero declared rates: split the requested total evenly.
+			scaled[i].Rate = perMs / float64(len(scaled))
+		}
+	}
+	c.Tenants = scaled
 	return c
 }
+
+// WithTenants returns a copy whose background workload is the given
+// structured tenant specs (replacing the flat NoiseRate/NoiseLLCProb
+// process). The specs slice is copied, so later mutation of the
+// arguments cannot alias into the config.
+func (c Config) WithTenants(specs ...tenant.Spec) Config {
+	c.Tenants = append([]tenant.Spec(nil), specs...)
+	return c
+}
+
+// Validate rejects configurations whose noise or tenant parameters are
+// out of range — a negative rate, a probability outside [0, 1], or a
+// malformed tenant spec — before they can silently produce a nonsense
+// host. Geometry errors (non-power-of-two set counts) still panic in
+// the index helpers, as before. NewHost calls Validate and panics on
+// error; callers that assemble configs from external input (sweep
+// specs, CLI flags) call it directly for a graceful error.
+func (c Config) Validate() error {
+	switch {
+	case c.NoiseRate < 0:
+		return fmt.Errorf("hierarchy: negative NoiseRate %g", c.NoiseRate)
+	case c.NoiseLLCProb < 0 || c.NoiseLLCProb > 1:
+		return fmt.Errorf("hierarchy: NoiseLLCProb %g outside [0, 1]", c.NoiseLLCProb)
+	case c.ReuseInsertProb < 0 || c.ReuseInsertProb > 1:
+		return fmt.Errorf("hierarchy: ReuseInsertProb %g outside [0, 1]", c.ReuseInsertProb)
+	case c.TimerJitter < 0:
+		return fmt.Errorf("hierarchy: negative TimerJitter %g", c.TimerJitter)
+	case c.Lat.JitterFrac < 0:
+		return fmt.Errorf("hierarchy: negative latency JitterFrac %g", c.Lat.JitterFrac)
+	}
+	for i, sp := range c.Tenants {
+		if err := sp.Validate(); err != nil {
+			return fmt.Errorf("hierarchy: tenant %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Key returns a deterministic string identity for the config. Config
+// carries a slice field (Tenants), so it cannot itself be a map key;
+// the trial engine's host pools key on this instead.
+func (c Config) Key() string { return fmt.Sprintf("%+v", c) }
 
 // WithSharedPolicy returns a copy whose shared structures (LLC and SF)
 // use the given replacement policy. The private L2 keeps its configured

@@ -7,6 +7,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/memory"
 	"repro/internal/slicehash"
+	"repro/internal/tenant"
 	"repro/internal/xrand"
 )
 
@@ -44,6 +45,7 @@ type Host struct {
 	rng      *xrand.Rand // simulator-internal randomness (noise, jitter)
 	noiseSeq uint64
 	lastSync []clock.Cycles // per (slice, index): last noise sync time
+	tenants  []tenantState  // background workload models, in spec order
 
 	sched eventQueue // scheduled external (victim) accesses
 
@@ -52,8 +54,60 @@ type Host struct {
 	Accesses    uint64
 }
 
-// NewHost builds a host from the config with the given seed.
+// tenantState pairs one background tenant model with its per-access
+// LLC-install probability.
+type tenantState struct {
+	model   tenant.Model
+	llcProb float64
+}
+
+// tenantSeedSalt decorrelates tenant-model seeds from every other use
+// of the host seed (memory, clock and policy streams are Split from the
+// running rng; tenant seeds must not consume those draws — see
+// buildTenants).
+const tenantSeedSalt = 0x7e4a_11c0_ffee_51de
+
+// tenantSeed derives tenant i's schedule seed from the host seed
+// arithmetically, without consuming host rng draws.
+func tenantSeed(seed uint64, i int) uint64 {
+	return xrand.Stream(seed^tenantSeedSalt, uint64(i))
+}
+
+// buildTenants constructs the host's background workload from the
+// config: the structured Tenants specs when present, else the legacy
+// NoiseRate/NoiseLLCProb shim as a single poisson model (built from the
+// per-cycle rate directly, so no unit round trip can move a bit), else
+// nothing. It must not draw from the host rng: NewHost consumed no
+// draws after the policy split before tenants existed, and the poisson
+// shim's byte-identity with the legacy path depends on keeping it that
+// way. The config must already be validated.
+func buildTenants(cfg Config) []tenantState {
+	if len(cfg.Tenants) > 0 {
+		ts := make([]tenantState, len(cfg.Tenants))
+		for i, sp := range cfg.Tenants {
+			m, err := sp.Build()
+			if err != nil {
+				panic("hierarchy: " + err.Error()) // unreachable post-Validate
+			}
+			// LLCProb is literal on a directly constructed Spec (only the
+			// Parse/ParseList syntaxes default an absent key to 0.5), so a
+			// sparse spec's zero genuinely means "never installs in the LLC".
+			ts[i] = tenantState{model: m, llcProb: sp.LLCProb}
+		}
+		return ts
+	}
+	if cfg.NoiseRate > 0 {
+		return []tenantState{{model: tenant.NewPoisson(cfg.NoiseRate), llcProb: cfg.NoiseLLCProb}}
+	}
+	return nil
+}
+
+// NewHost builds a host from the config with the given seed. It panics
+// on a config whose noise or tenant parameters fail Config.Validate.
 func NewHost(cfg Config, seed uint64) *Host {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
 	rng := xrand.New(seed)
 	h := &Host{
 		cfg:  cfg,
@@ -77,6 +131,10 @@ func NewHost(cfg Config, seed uint64) *Host {
 		h.sf[s] = cache.New(cache.Config{Name: fmt.Sprintf("SF[%d]", s), Sets: cfg.LLCSets, Ways: cfg.SFWays, Policy: cfg.SFPolicy}, polRng)
 	}
 	h.lastSync = make([]clock.Cycles, cfg.Slices*cfg.LLCSets)
+	h.tenants = buildTenants(cfg)
+	for i := range h.tenants {
+		h.tenants[i].model.Reset(tenantSeed(seed, i))
+	}
 	return h
 }
 
@@ -104,6 +162,9 @@ func (h *Host) Reset(seed uint64) {
 	}
 	for i := range h.lastSync {
 		h.lastSync[i] = 0
+	}
+	for i := range h.tenants {
+		h.tenants[i].model.Reset(tenantSeed(seed, i))
 	}
 	h.noiseSeq = 0
 	h.sched.events = h.sched.events[:0]
@@ -162,11 +223,14 @@ func (h *Host) latency(l Level) float64 {
 
 // --- Noise injection -----------------------------------------------------
 
-// syncNoise applies the background tenant Poisson process to one LLC/SF
-// set, covering the window since the set was last synced. Each background
-// access allocates an SF entry (evicting, with back-invalidation, whatever
-// the replacement policy selects) and, with probability NoiseLLCProb,
-// installs a line in the LLC set as well.
+// syncNoise applies the background tenant workload to one LLC/SF set,
+// covering the window since the set was last synced. Each tenant model
+// (internal/tenant; one legacy-shim poisson model when the config uses
+// the flat NoiseRate knob) reports how many accesses it performed on
+// the set during the window; each access allocates an SF entry
+// (evicting, with back-invalidation, whatever the replacement policy
+// selects) and, with the tenant's LLC probability, installs a line in
+// the LLC set as well.
 func (h *Host) syncNoise(set SetID) {
 	slot := set.Slice*h.cfg.LLCSets + set.Index
 	now := h.clk.Now()
@@ -175,26 +239,29 @@ func (h *Host) syncNoise(set SetID) {
 		return
 	}
 	h.lastSync[slot] = now
-	if h.cfg.NoiseRate <= 0 {
+	if len(h.tenants) == 0 {
 		return
 	}
-	window := float64(now - last)
-	n := h.rng.Poisson(window * h.cfg.NoiseRate)
-	for i := 0; i < n; i++ {
-		h.noiseAccess(set)
+	ref := tenant.Set{Slot: slot, Total: h.cfg.Slices * h.cfg.LLCSets}
+	for i := range h.tenants {
+		bt := &h.tenants[i]
+		n := bt.model.Accesses(h.rng, ref, last, now)
+		for j := 0; j < n; j++ {
+			h.noiseAccess(set, bt.llcProb)
+		}
+		h.NoiseEvents += uint64(n)
 	}
-	h.NoiseEvents += uint64(n)
 }
 
 // noiseAccess performs one background tenant access to the set.
-func (h *Host) noiseAccess(set SetID) {
+func (h *Host) noiseAccess(set SetID, llcProb float64) {
 	h.noiseSeq++
 	// Noise tags live far above any real frame so they can never collide
 	// with attacker or victim lines.
 	tag := cache.Tag(1<<62 | h.noiseSeq<<memory.LineBits)
 	ev := h.sf[set.Slice].Insert(set.Index, tag, noiseOwner)
 	h.handleSFEviction(set, ev)
-	if h.rng.Float64() < h.cfg.NoiseLLCProb {
+	if h.rng.Float64() < llcProb {
 		lev := h.llc[set.Slice].Insert(set.Index, tag, 0)
 		h.handleLLCEviction(lev)
 	}

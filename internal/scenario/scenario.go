@@ -30,6 +30,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/hierarchy"
 	"repro/internal/stats"
+	"repro/internal/tenant"
 )
 
 // Step is one pipeline stage of a scenario trial with its virtual-cycle
@@ -180,12 +181,16 @@ type Aggregate struct {
 // the aggregate. For a fixed seed it is byte-identical at every worker
 // count.
 type Report struct {
-	Scenario  string    `json:"scenario"`
-	Desc      string    `json:"desc"`
-	Trials    int       `json:"trials"`
-	Seed      uint64    `json:"seed"`
-	Outcomes  []Outcome `json:"outcomes"`
-	Aggregate Aggregate `json:"aggregate"`
+	Scenario string `json:"scenario"`
+	Desc     string `json:"desc"`
+	Trials   int    `json:"trials"`
+	Seed     uint64 `json:"seed"`
+	// Tenants records a background-workload override (RunTenants), so
+	// the artifact self-describes the environment it measured; empty for
+	// the scenario's own default config.
+	Tenants   []tenant.Spec `json:"tenants,omitempty"`
+	Outcomes  []Outcome     `json:"outcomes"`
+	Aggregate Aggregate     `json:"aggregate"`
 }
 
 // WriteJSON renders the report as indented JSON. Encoding is fully
@@ -200,6 +205,15 @@ func (r *Report) WriteJSON(w io.Writer) error {
 // workers (<= 0 selects GOMAXPROCS) and aggregates the outcomes. The
 // report depends only on (id, trials, seed).
 func Run(id string, trials, workers int, seed uint64) (*Report, error) {
+	return RunTenants(id, nil, trials, workers, seed)
+}
+
+// RunTenants is Run with the scenario's background workload replaced by
+// the given tenant specs (the cmd/llcattack -tenants override); nil
+// specs keep the scenario's own environment. Specs must already be
+// validated (tenant.ParseList / Spec.Validate); an invalid spec fails
+// host construction.
+func RunTenants(id string, tenants []tenant.Spec, trials, workers int, seed uint64) (*Report, error) {
 	sc, ok := Lookup(id)
 	if !ok {
 		return nil, fmt.Errorf("scenario: unknown scenario %q (known: %v)", id, IDs())
@@ -207,12 +221,17 @@ func Run(id string, trials, workers int, seed uint64) (*Report, error) {
 	if trials < 1 {
 		return nil, fmt.Errorf("scenario: trials must be >= 1, got %d", trials)
 	}
-	outs := RunOn(sc, sc.Config(), trials, workers, seed)
+	cfg := sc.Config()
+	if len(tenants) > 0 {
+		cfg = cfg.WithTenants(tenants...)
+	}
+	outs := RunOn(sc, cfg, trials, workers, seed)
 	return &Report{
 		Scenario:  sc.ID,
 		Desc:      sc.Desc,
 		Trials:    trials,
 		Seed:      seed,
+		Tenants:   tenants,
 		Outcomes:  outs,
 		Aggregate: AggregateOutcomes(outs),
 	}, nil

@@ -11,6 +11,7 @@ import (
 	"repro/internal/lattice"
 	"repro/internal/probe"
 	"repro/internal/psd"
+	"repro/internal/tenant"
 	"repro/internal/xrand"
 )
 
@@ -41,6 +42,34 @@ func init() {
 	// Small SF associativity: 6-way instead of the scaled host's 8-way,
 	// shrinking the eviction sets the whole pipeline builds on.
 	smallSF := func() hierarchy.Config { return hierarchy.Scaled(4).WithSFAssociativity(6).WithCloudNoise() }
+	// Structured-tenant variants (internal/tenant): the same mean
+	// pressure as the flat noisy/cloud neighbours, re-shaped into the
+	// phased, spatial and churning regimes of real co-residents.
+	bursty := func() hierarchy.Config {
+		// The noisy neighbour's 34.5/ms mean concentrated into 10% duty
+		// bursts: 345/ms while on, silent otherwise.
+		return hierarchy.Scaled(4).WithTenants(
+			tenant.Spec{Model: "burst", Rate: 34.5, LLCProb: 0.5, OnFrac: 0.1, OnMs: 2})
+	}
+	churny := func() hierarchy.Config {
+		// Serverless cold-start churn at the Cloud Run mean: instances
+		// arrive every ~20 ms, live ~5 ms, each flooding half the sets.
+		return hierarchy.Scaled(4).WithTenants(
+			tenant.Spec{Model: "churn", Rate: 11.5, LLCProb: 0.5,
+				ArrivalsPerMs: 0.05, LifeMs: 5, FootprintFrac: 0.5})
+	}
+	streamy := func() hierarchy.Config {
+		// A sequential scanner sweeping set indices at 3x the Cloud Run
+		// mean, 4 accesses per visit.
+		return hierarchy.Scaled(4).WithTenants(
+			tenant.Spec{Model: "stream", Rate: 34.5, LLCProb: 0.5, Width: 4})
+	}
+	hotsetty := func() hierarchy.Config {
+		// A co-tenant whose working set collides with a quarter of the
+		// sets, at 4x the per-set pressure there (same total as 34.5 flat).
+		return hierarchy.Scaled(4).WithTenants(
+			tenant.Spec{Model: "hotset", Rate: 34.5, LLCProb: 0.5, HotFrac: 0.25})
+	}
 
 	Register(Scenario{
 		ID:     "scan/psd",
@@ -83,6 +112,30 @@ func init() {
 		Desc:   "covert/channel degraded by a noisy neighbor (3x Cloud Run background rate)",
 		Config: noisy,
 		Run:    runCovert,
+	})
+	Register(Scenario{
+		ID:     "e2e/extract/burst",
+		Desc:   "e2e/extract under a bursty tenant (34.5/ms mean in 10%-duty on/off phases)",
+		Config: bursty,
+		Run:    runExtract,
+	})
+	Register(Scenario{
+		ID:     "e2e/keyrecovery/churn",
+		Desc:   "e2e/keyrecovery under serverless cold-start churn (arrivals flooding half the sets)",
+		Config: churny,
+		Run:    runKeyRecovery,
+	})
+	Register(Scenario{
+		ID:     "covert/channel/stream",
+		Desc:   "covert/channel under a streaming tenant sweeping set indices at 3x Cloud Run rate",
+		Config: streamy,
+		Run:    runCovert,
+	})
+	Register(Scenario{
+		ID:     "scan/psd/hotset",
+		Desc:   "scan/psd with a hot-set tenant colliding with a quarter of the sets at 4x pressure",
+		Config: hotsetty,
+		Run:    runScan,
 	})
 }
 

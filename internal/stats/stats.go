@@ -1,6 +1,9 @@
 // Package stats provides the small statistical toolkit used by the
-// experiment harnesses: summary statistics, percentiles, histograms and
-// empirical CDFs.
+// experiment harnesses: summary statistics (mean/stddev/median),
+// percentiles, histograms, empirical CDFs, success-rate counters and
+// Wilson score intervals (the 95% bounds the scenario reports put on
+// every success rate). Everything is deterministic and allocation-
+// conscious, so aggregation never perturbs a report's byte identity.
 package stats
 
 import (

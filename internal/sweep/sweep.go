@@ -1,6 +1,7 @@
 // Package sweep expands a declarative configuration grid — replacement
-// policy x SF associativity x slice count x noise level x cell
-// experiment — into hierarchy configs and runs every cell through the
+// policy x SF associativity x slice count x noise level x tenant
+// workload model x cell experiment — into hierarchy configs and runs
+// every cell through the
 // parallel trial engine in internal/experiments, aggregating the
 // per-cell samples into one deterministic artifact (JSON or CSV) with
 // deltas against the grid's baseline cell.
@@ -36,6 +37,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/hierarchy"
 	"repro/internal/stats"
+	"repro/internal/tenant"
 	"repro/internal/xrand"
 )
 
@@ -57,6 +59,13 @@ type Spec struct {
 	// NoiseRates sweeps the background tenant rate in accesses/ms/set
 	// (0.29 = quiescent local, 11.5 = Cloud Run).
 	NoiseRates []float64 `json:"noise_rates"`
+	// TenantModels sweeps the background-workload SHAPE at each noise
+	// rate: tenant model names (tenant.Models; poisson, burst, stream,
+	// hotset, churn), each built with its documented default parameters
+	// at the cell's noise rate. "poisson" reproduces the flat legacy
+	// noise process — and is the default, so existing specs and
+	// artifacts are unchanged.
+	TenantModels []string `json:"tenant_models,omitempty"`
 	// Trials is the number of trials per cell.
 	Trials int `json:"trials"`
 	// Seed roots all randomness; a fixed seed fixes the artifact
@@ -87,6 +96,9 @@ func (s *Spec) Normalize() {
 	}
 	if len(s.NoiseRates) == 0 {
 		s.NoiseRates = []float64{0.29}
+	}
+	if len(s.TenantModels) == 0 {
+		s.TenantModels = []string{"poisson"}
 	}
 	if s.Trials == 0 {
 		s.Trials = 10
@@ -125,6 +137,11 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("sweep: negative noise rate %g", r)
 		}
 	}
+	for _, m := range s.TenantModels {
+		if err := (tenant.Spec{Model: m, Rate: 1}).Validate(); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -137,6 +154,9 @@ type CellResult struct {
 	SFAssoc    int     `json:"sf_assoc"`
 	Slices     int     `json:"slices"`
 	NoiseRate  float64 `json:"noise_rate"`
+	// TenantModel is the background-workload shape at the cell's noise
+	// rate ("poisson" is the flat legacy process).
+	TenantModel string `json:"tenant_model"`
 
 	Unit        string  `json:"unit"`
 	Trials      int     `json:"trials"`
@@ -163,14 +183,15 @@ type Result struct {
 
 // cell is one expanded grid point before aggregation.
 type cell struct {
-	exp       experiments.Cell
-	policy    cache.PolicyKind
-	polName   string
-	sfAssoc   int
-	slices    int
-	noiseRate float64
-	cfg       hierarchy.Config
-	seed      uint64
+	exp         experiments.Cell
+	policy      cache.PolicyKind
+	polName     string
+	sfAssoc     int
+	slices      int
+	noiseRate   float64
+	tenantModel string
+	cfg         hierarchy.Config
+	seed        uint64
 }
 
 // expand materialises the spec's cells in deterministic order:
@@ -192,31 +213,51 @@ func expand(s Spec) []cell {
 			for _, assoc := range s.SFAssocs {
 				for _, slices := range s.Slices {
 					for _, rate := range s.NoiseRates {
-						cfg := hierarchy.Scaled(slices).
-							WithSFAssociativity(assoc).
-							WithSharedPolicy(kind)
-						// Noise rates are declared in the paper's unit. For
-						// construction-protocol cells the scaled host must run a
-						// proportionally higher rate for the declared rate to be
-						// equivalent (otherwise Cloud Run-level noise is invisible
-						// to the shorter test windows — see ConstructionNoiseScale);
-						// monitoring cells keep the raw rate.
-						effRate := rate
-						if ce.ConstructionNoise {
-							effRate *= experiments.ConstructionNoiseScale(cfg, false)
+						for _, model := range s.TenantModels {
+							cfg := hierarchy.Scaled(slices).
+								WithSFAssociativity(assoc).
+								WithSharedPolicy(kind)
+							// Noise rates are declared in the paper's unit. For
+							// construction-protocol cells the scaled host must run a
+							// proportionally higher rate for the declared rate to be
+							// equivalent (otherwise Cloud Run-level noise is invisible
+							// to the shorter test windows — see ConstructionNoiseScale);
+							// monitoring cells keep the raw rate. The scaling applies
+							// to every tenant model alike: it rescales the mean, the
+							// model shapes how that mean is distributed.
+							effRate := rate
+							if ce.ConstructionNoise {
+								effRate *= experiments.ConstructionNoiseScale(cfg, false)
+							}
+							if model == "poisson" {
+								// The flat legacy knob, byte-identical to the
+								// pre-tenant sweep path.
+								cfg = cfg.WithNoiseRate(effRate)
+								cfg.Name = fmt.Sprintf("sweep/%s/w%d/s%d", kind, assoc, slices)
+							} else {
+								cfg = cfg.WithTenants(tenant.Spec{Model: model, Rate: effRate, LLCProb: cfg.NoiseLLCProb})
+								cfg.Name = fmt.Sprintf("sweep/%s/w%d/s%d/%s", kind, assoc, slices, model)
+							}
+							// Seed labels: the tenant coordinate joins only for
+							// non-poisson cells, so every pre-axis artifact keeps its
+							// exact numbers (a poisson cell's coordinates are the
+							// same labels as before the axis existed).
+							labels := []any{ce.ID, kind.String(), assoc, slices, rate}
+							if model != "poisson" {
+								labels = append(labels, "tenant:"+model)
+							}
+							out = append(out, cell{
+								exp:         ce,
+								policy:      kind,
+								polName:     kind.String(),
+								sfAssoc:     assoc,
+								slices:      slices,
+								noiseRate:   rate,
+								tenantModel: model,
+								cfg:         cfg,
+								seed:        cellSeed(s.Seed, labels...),
+							})
 						}
-						cfg = cfg.WithNoiseRate(effRate)
-						cfg.Name = fmt.Sprintf("sweep/%s/w%d/s%d", kind, assoc, slices)
-						out = append(out, cell{
-							exp:       ce,
-							policy:    kind,
-							polName:   kind.String(),
-							sfAssoc:   assoc,
-							slices:    slices,
-							noiseRate: rate,
-							cfg:       cfg,
-							seed:      cellSeed(s.Seed, ce.ID, kind.String(), assoc, slices, rate),
-						})
 					}
 				}
 			}
@@ -261,8 +302,8 @@ func Run(spec Spec, workers int) (*Result, error) {
 		if tp, ok := err.(interface{ TrialIndex() int }); ok {
 			if ci := tp.TrialIndex() / n; ci >= 0 && ci < len(cls) {
 				c := cls[ci]
-				return nil, fmt.Errorf("sweep: cell %s policy=%s sf_assoc=%d slices=%d noise=%g: %w",
-					c.exp.ID, c.polName, c.sfAssoc, c.slices, c.noiseRate, err)
+				return nil, fmt.Errorf("sweep: cell %s policy=%s sf_assoc=%d slices=%d noise=%g tenant=%s: %w",
+					c.exp.ID, c.polName, c.sfAssoc, c.slices, c.noiseRate, c.tenantModel, err)
 			}
 		}
 		return nil, err
@@ -286,6 +327,7 @@ func Run(spec Spec, workers int) (*Result, error) {
 			SFAssoc:     c.sfAssoc,
 			Slices:      c.slices,
 			NoiseRate:   c.noiseRate,
+			TenantModel: c.tenantModel,
 			Unit:        c.exp.Unit,
 			Trials:      n,
 			SuccessRate: float64(succ) / float64(n),
@@ -321,7 +363,7 @@ func (r *Result) WriteJSON(w io.Writer) error {
 
 // csvHeader is the CSV artifact's column set.
 var csvHeader = []string{
-	"experiment", "policy", "sf_assoc", "slices", "noise_rate",
+	"experiment", "policy", "sf_assoc", "slices", "noise_rate", "tenant_model",
 	"unit", "trials", "success_rate", "mean", "stddev", "median",
 	"baseline", "delta_success", "delta_mean",
 }
@@ -342,7 +384,7 @@ func (r *Result) WriteCSV(w io.Writer) error {
 	}
 	for _, c := range r.Cells {
 		row := []string{
-			c.Experiment, c.Policy, strconv.Itoa(c.SFAssoc), strconv.Itoa(c.Slices), f(c.NoiseRate),
+			c.Experiment, c.Policy, strconv.Itoa(c.SFAssoc), strconv.Itoa(c.Slices), f(c.NoiseRate), c.TenantModel,
 			c.Unit, strconv.Itoa(c.Trials), f(c.SuccessRate), f(c.Mean), f(c.Stddev), f(c.Median),
 			strconv.FormatBool(c.Baseline), opt(c.DeltaSuccess), opt(c.DeltaMean),
 		}

@@ -183,11 +183,101 @@ func TestWriteCSVShape(t *testing.T) {
 		}
 	}
 	// Baseline row has empty deltas; every other row has a delta_success.
-	if rows[1][12] != "" || rows[1][13] != "" {
+	col := func(name string) int {
+		for i, h := range csvHeader {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("no CSV column %q", name)
+		return -1
+	}
+	ds, dm := col("delta_success"), col("delta_mean")
+	if rows[1][ds] != "" || rows[1][dm] != "" {
 		t.Error("baseline CSV row carries deltas")
 	}
-	if rows[2][12] == "" {
+	if rows[2][ds] == "" {
 		t.Error("non-baseline CSV row missing delta_success")
+	}
+}
+
+// TestTenantModelAxis sweeps the background-workload shape: the same
+// experiment and noise rate across tenant models, with poisson first so
+// it is the baseline the structured models are compared against.
+func TestTenantModelAxis(t *testing.T) {
+	s := tinySpec()
+	s.Policies = []string{"LRU"}
+	s.SFAssocs = []int{8}
+	s.NoiseRates = []float64{11.5}
+	s.TenantModels = []string{"poisson", "burst", "stream", "hotset", "churn"}
+	res, err := Run(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 5 {
+		t.Fatalf("got %d cells, want 5", len(res.Cells))
+	}
+	for i, model := range s.TenantModels {
+		c := res.Cells[i]
+		if c.TenantModel != model {
+			t.Errorf("cell %d tenant_model = %q, want %q", i, c.TenantModel, model)
+		}
+		if (i == 0) != c.Baseline {
+			t.Errorf("cell %d baseline = %v; poisson must be the baseline", i, c.Baseline)
+		}
+	}
+}
+
+// TestTenantAxisPreservesPoissonCells pins the seed-label back-compat
+// rule: adding structured models to the axis must not move a single
+// number in the poisson cells, which carry the same coordinates as
+// before the axis existed.
+func TestTenantAxisPreservesPoissonCells(t *testing.T) {
+	base := tinySpec()
+	withAxis := tinySpec()
+	withAxis.TenantModels = []string{"poisson", "stream"}
+	a, err := Run(base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(withAxis, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var poisson []CellResult
+	for _, c := range b.Cells {
+		if c.TenantModel == "poisson" {
+			poisson = append(poisson, c)
+		}
+	}
+	if len(poisson) != len(a.Cells) {
+		t.Fatalf("%d poisson cells vs %d baseline cells", len(poisson), len(a.Cells))
+	}
+	deref := func(p *float64) (float64, bool) {
+		if p == nil {
+			return 0, false
+		}
+		return *p, true
+	}
+	for i := range poisson {
+		p, q := poisson[i], a.Cells[i]
+		pd, pk := deref(p.DeltaSuccess)
+		qd, qk := deref(q.DeltaSuccess)
+		pm, pmk := deref(p.DeltaMean)
+		qm, qmk := deref(q.DeltaMean)
+		p.DeltaSuccess, p.DeltaMean, q.DeltaSuccess, q.DeltaMean = nil, nil, nil, nil
+		if p != q || pd != qd || pk != qk || pm != qm || pmk != qmk {
+			t.Errorf("poisson cell %d moved when the tenant axis grew:\n%+v\nvs\n%+v",
+				i, poisson[i], a.Cells[i])
+		}
+	}
+}
+
+func TestValidateRejectsBadTenantModel(t *testing.T) {
+	s := tinySpec()
+	s.TenantModels = []string{"warp"}
+	if err := s.Validate(); err == nil {
+		t.Error("Validate accepted an unknown tenant model")
 	}
 }
 

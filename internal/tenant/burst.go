@@ -1,0 +1,103 @@
+package tenant
+
+import (
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/xrand"
+)
+
+func init() {
+	register("burst", "on/off Markov phases: Poisson at rate/on_frac while bursting, idle otherwise",
+		func(s Spec) (Model, error) {
+			return &burst{
+				perCycleOn: s.Rate / CyclesPerMs / s.OnFrac,
+				onMean:     s.OnMs * CyclesPerMs,
+				offMean:    s.OnMs * CyclesPerMs * (1 - s.OnFrac) / s.OnFrac,
+				onFrac:     s.OnFrac,
+			}, nil
+		})
+}
+
+// burst is a two-state Markov-modulated Poisson process in time: the
+// tenant alternates exponentially distributed on and off phases shared
+// by ALL sets (a co-tenant's active periods hit its whole working set
+// at once). While on it is a Poisson source at Rate/OnFrac per set, so
+// the long-run mean rate stays the Spec's Rate. The AraOS-style phased
+// interference regime: quiet stretches a monitor can calibrate in,
+// punctuated by bursts that look nothing like the calibration.
+type burst struct {
+	perCycleOn float64
+	onMean     float64 // mean on-phase length, cycles
+	offMean    float64
+	onFrac     float64
+
+	sched xrand.Rand // schedule stream, seeded by Reset only
+	// ends[i] is the end time of phase i; phase parity plus startOn
+	// gives its state. Extended lazily and monotonically as queries'
+	// `now` advances, so per-set query order cannot change it.
+	ends    []clock.Cycles
+	startOn bool
+}
+
+func (b *burst) Reset(seed uint64) {
+	b.sched.Seed(seed)
+	b.ends = b.ends[:0]
+	// The chain starts in its stationary distribution.
+	b.startOn = b.sched.Float64() < b.onFrac
+}
+
+// extend grows the phase schedule until it covers t.
+func (b *burst) extend(t clock.Cycles) {
+	last := clock.Cycles(0)
+	if n := len(b.ends); n > 0 {
+		last = b.ends[n-1]
+	}
+	for last <= t {
+		mean := b.offMean
+		if b.phaseOn(len(b.ends)) {
+			mean = b.onMean
+		}
+		last += clock.Cycles(b.sched.Exp(1/mean)) + 1
+		b.ends = append(b.ends, last)
+	}
+}
+
+// phaseOn reports whether phase i is a bursting phase.
+func (b *burst) phaseOn(i int) bool { return (i%2 == 0) == b.startOn }
+
+// onTime integrates the bursting time within (last, now].
+func (b *burst) onTime(last, now clock.Cycles) clock.Cycles {
+	b.extend(now)
+	i := sort.Search(len(b.ends), func(i int) bool { return b.ends[i] > last })
+	var on clock.Cycles
+	start := clock.Cycles(0)
+	if i > 0 {
+		start = b.ends[i-1]
+	}
+	for ; i < len(b.ends) && start < now; i++ {
+		end := b.ends[i]
+		if b.phaseOn(i) {
+			lo, hi := start, end
+			if lo < last {
+				lo = last
+			}
+			if hi > now {
+				hi = now
+			}
+			if hi > lo {
+				on += hi - lo
+			}
+		}
+		start = end
+	}
+	return on
+}
+
+func (b *burst) Accesses(rng *xrand.Rand, _ Set, last, now clock.Cycles) int {
+	on := b.onTime(last, now)
+	if on == 0 {
+		return 0
+	}
+	return rng.Poisson(float64(on) * b.perCycleOn)
+}

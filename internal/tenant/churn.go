@@ -1,0 +1,130 @@
+package tenant
+
+import (
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/xrand"
+)
+
+func init() {
+	register("churn", "serverless cold starts: Poisson arrivals, exponential lifetimes, each touching a large transient footprint",
+		func(s Spec) (Model, error) {
+			arrPerCycle := s.ArrivalsPerMs / CyclesPerMs
+			lifeCycles := s.LifeMs * CyclesPerMs
+			// Expected concurrent instances x footprint coverage gives the
+			// probability a set is covered at a random instant; dividing the
+			// Spec rate by it keeps the long-run mean per-set rate at Rate.
+			cover := arrPerCycle * lifeCycles * s.FootprintFrac
+			return &churn{
+				arrivalsPerCycle: arrPerCycle,
+				lifeCycles:       lifeCycles,
+				footFrac:         s.FootprintFrac,
+				perCycleInst:     s.Rate / CyclesPerMs / cover,
+			}, nil
+		})
+}
+
+// instance is one serverless tenant instance: alive on [start, end),
+// touching the contiguous (wrapping) footprint of sets starting at the
+// offset fraction.
+type instance struct {
+	start, end clock.Cycles
+	offFrac    float64
+}
+
+// churn models serverless cold-start churn: instances arrive as a
+// Poisson process, live an exponential lifetime, and each hammers a
+// large contiguous footprint of sets (container startup touches code,
+// heap and runtime pages across much of the cache) before departing.
+// Interference is therefore non-stationary on the timescale of an
+// attack: windows with no instance covering the target set are silent,
+// and a cold start mid-measurement floods a wide swath of sets at a
+// per-set rate far above the long-run mean.
+type churn struct {
+	arrivalsPerCycle float64
+	lifeCycles       float64
+	footFrac         float64
+	perCycleInst     float64
+
+	sched xrand.Rand // schedule stream, seeded by Reset only
+	// instances is sorted by start (arrival order); prefixMaxEnd[i] is
+	// max end over instances[0..i], which bounds the backward scan a
+	// window query needs. Both extend lazily and monotonically with the
+	// largest `now` seen, so per-set query order cannot change them.
+	instances    []instance
+	prefixMaxEnd []clock.Cycles
+	nextArrival  clock.Cycles
+}
+
+func (c *churn) Reset(seed uint64) {
+	c.sched.Seed(seed)
+	c.instances = c.instances[:0]
+	c.prefixMaxEnd = c.prefixMaxEnd[:0]
+	c.nextArrival = clock.Cycles(c.sched.Exp(c.arrivalsPerCycle))
+}
+
+// extend materialises arrivals up to time t.
+func (c *churn) extend(t clock.Cycles) {
+	for c.nextArrival <= t {
+		life := clock.Cycles(c.sched.Exp(1/c.lifeCycles)) + 1
+		inst := instance{
+			start:   c.nextArrival,
+			end:     c.nextArrival + life,
+			offFrac: c.sched.Float64(),
+		}
+		maxEnd := inst.end
+		if n := len(c.prefixMaxEnd); n > 0 && c.prefixMaxEnd[n-1] > maxEnd {
+			maxEnd = c.prefixMaxEnd[n-1]
+		}
+		c.instances = append(c.instances, inst)
+		c.prefixMaxEnd = append(c.prefixMaxEnd, maxEnd)
+		c.nextArrival += clock.Cycles(c.sched.Exp(c.arrivalsPerCycle)) + 1
+	}
+}
+
+// covers reports whether the instance's footprint includes the slot.
+func (c *churn) covers(inst instance, set Set) bool {
+	total := set.Total
+	off := int(inst.offFrac * float64(total))
+	span := int(c.footFrac*float64(total) + 0.5)
+	if span < 1 {
+		span = 1
+	}
+	d := set.Slot - off
+	if d < 0 {
+		d += total
+	}
+	return d < span
+}
+
+func (c *churn) Accesses(rng *xrand.Rand, set Set, last, now clock.Cycles) int {
+	c.extend(now)
+	// Instances that can overlap (last, now] have start < now and
+	// end > last. Scan backward from the last arrival before `now`;
+	// prefixMaxEnd bounds how far back an overlapping end can hide, so
+	// the scan length tracks the (small) number of live instances, not
+	// the whole arrival history.
+	hi := sort.Search(len(c.instances), func(i int) bool { return c.instances[i].start >= now })
+	mean := 0.0
+	for i := hi - 1; i >= 0 && c.prefixMaxEnd[i] > last; i-- {
+		inst := c.instances[i]
+		if inst.end <= last || !c.covers(inst, set) {
+			continue
+		}
+		lo, hiT := inst.start, inst.end
+		if lo < last {
+			lo = last
+		}
+		if hiT > now {
+			hiT = now
+		}
+		if hiT > lo {
+			mean += float64(hiT-lo) * c.perCycleInst
+		}
+	}
+	if mean == 0 {
+		return 0
+	}
+	return rng.Poisson(mean)
+}

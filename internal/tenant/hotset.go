@@ -1,0 +1,42 @@
+package tenant
+
+import (
+	"repro/internal/clock"
+	"repro/internal/xrand"
+)
+
+func init() {
+	register("hotset", "working set colliding with a hot_frac of sets: Poisson at rate/hot_frac there, silent elsewhere",
+		func(s Spec) (Model, error) {
+			return &hotset{perCycleHot: s.Rate / CyclesPerMs / s.HotFrac, hotFrac: s.HotFrac}, nil
+		})
+}
+
+// hotset models a co-tenant whose resident working set collides with
+// only a fraction of the victim's sets: each set is independently hot
+// with probability hot_frac (a seed-derived hash, so the collision
+// pattern is fixed per trial, not redrawn per window). Hot sets see a
+// Poisson process at Rate/hot_frac — the same total pressure as a
+// poisson tenant of equal Rate, concentrated — and cold sets see
+// nothing. This is the regime where eviction-set construction succeeds
+// on most sets but the target's neighbourhood is much noisier (or
+// quieter) than the calibration assumed.
+type hotset struct {
+	perCycleHot float64
+	hotFrac     float64
+	seed        uint64
+}
+
+func (h *hotset) Reset(seed uint64) { h.seed = seed }
+
+// hot reports whether the tenant's working set collides with the slot.
+func (h *hotset) hot(slot int) bool {
+	return frac01(xrand.Stream(h.seed, uint64(slot))) < h.hotFrac
+}
+
+func (h *hotset) Accesses(rng *xrand.Rand, set Set, last, now clock.Cycles) int {
+	if !h.hot(set.Slot) {
+		return 0
+	}
+	return rng.Poisson(float64(now-last) * h.perCycleHot)
+}

@@ -1,0 +1,63 @@
+package tenant
+
+import (
+	"repro/internal/clock"
+	"repro/internal/xrand"
+)
+
+func init() {
+	register("stream", "sequential scan sweeping set indices in order, width accesses per visit",
+		func(s Spec) (Model, error) {
+			return &stream{perCycle: s.Rate / CyclesPerMs, width: s.Width}, nil
+		})
+}
+
+// stream is a spatially structured tenant: a sequential scan (memcpy,
+// SpMV row walk, garbage-collector sweep) that touches set indices in
+// order, wrapping around, with width back-to-back accesses per visit.
+// Unlike the i.i.d. poisson model, its hits on one set come in
+// regularly spaced clumps — the regime where a probe sees nothing for a
+// long stretch and then a dense burst exactly when the sweep passes.
+// The sweep speed is normalised so the long-run mean per-set rate is
+// the Spec's Rate: each set is visited Rate/width times per ms. The
+// model is fully deterministic given its seed (which only places the
+// sweep's starting offset): it draws nothing from the host stream.
+type stream struct {
+	perCycle float64
+	width    int
+	offFrac  float64 // starting position as a fraction of Total
+}
+
+func (s *stream) Reset(seed uint64) {
+	s.offFrac = frac01(xrand.Stream(seed, 0))
+}
+
+// pos returns the number of whole set-visits completed by time t,
+// offset by the seed-derived starting position.
+func (s *stream) pos(t clock.Cycles, total int) int64 {
+	// Visits per cycle across the whole machine: Total sets, each
+	// visited perCycle/width times per cycle.
+	speed := float64(total) * s.perCycle / float64(s.width)
+	return int64(float64(t)*speed + s.offFrac*float64(total))
+}
+
+func (s *stream) Accesses(_ *xrand.Rand, set Set, last, now clock.Cycles) int {
+	if set.Total <= 0 {
+		return 0
+	}
+	a, b := s.pos(last, set.Total), s.pos(now, set.Total)
+	// Visits to slot in (a, b]: integers m ≡ slot (mod Total) with
+	// a < m <= b.
+	t, slot := int64(set.Total), int64(set.Slot)
+	visits := floorDiv(b-slot, t) - floorDiv(a-slot, t)
+	return int(visits) * s.width
+}
+
+// floorDiv is floor(a/b) for positive b and any a.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

@@ -41,6 +41,14 @@ func Stream(base, i uint64) uint64 {
 // New returns a generator seeded from the given seed.
 func New(seed uint64) *Rand {
 	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed re-initializes the generator in place to the state New(seed)
+// would produce. It exists so long-lived owners (pooled hosts, tenant
+// models) can re-derive their streams on reset without allocating.
+func (r *Rand) Seed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		r.s[i] = splitmix64(&sm)
@@ -50,7 +58,6 @@ func New(seed uint64) *Rand {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 1
 	}
-	return r
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
