@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/classify"
+	"repro/internal/defense"
 	"repro/internal/dsp"
 	"repro/internal/ec2m"
 	"repro/internal/ecdsa"
@@ -473,4 +474,35 @@ func BenchmarkTenant_Stream(b *testing.B) {
 func BenchmarkTenant_Churn(b *testing.B) {
 	benchTenant(b, tenant.Spec{Model: "churn", Rate: 11.5, LLCProb: 0.5,
 		ArrivalsPerMs: 0.05, LifeMs: 5, FootprintFrac: 0.5})
+}
+
+// benchDefense times the demand-access path through one defense model's
+// hooks (index derivation, way-regioned insertion, per-access tick),
+// the per-access overhead every defended experiment pays.
+func benchDefense(b *testing.B, spec defense.Spec) {
+	b.Helper()
+	cfg := hierarchy.Scaled(4).WithCloudNoise().WithDefense(spec)
+	h := hierarchy.NewHost(cfg, 1)
+	a := h.NewAgent(0)
+	buf := a.Alloc(256)
+	addrs := make([]memory.VAddr, 256)
+	for i := range addrs {
+		addrs[i] = buf.LineAt(i, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%16 == 0 {
+			a.Idle(100_000)
+		}
+		a.Access(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkDefense_Partition(b *testing.B) {
+	benchDefense(b, defense.Spec{Model: "partition", Ways: 4})
+}
+
+func BenchmarkDefense_Randomize(b *testing.B) {
+	benchDefense(b, defense.Spec{Model: "randomize"})
 }

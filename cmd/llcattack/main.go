@@ -5,9 +5,10 @@
 // report aggregates success rates (with Wilson 95% intervals), per-step
 // cycle budgets, and latency distributions across trials.
 //
-//	llcattack -list                                  # scenario ids + tenant models
+//	llcattack -list                                  # scenario ids + tenant/defense models
 //	llcattack -scenario e2e/keyrecovery -trials 8    # one report
 //	llcattack -scenario e2e/extract -tenants "burst:rate=34.5,on_frac=0.1"
+//	llcattack -scenario e2e/extract -defense partition:ways=4
 //
 // The report is JSON on stdout (or -o) and is byte-identical for every
 // -parallel value on the architecture that runs it; wall-clock timing
@@ -24,6 +25,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/defense"
 	"repro/internal/scenario"
 	"repro/internal/tenant"
 )
@@ -43,8 +45,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed     = fs.Uint64("seed", 1, "deterministic seed")
 		parallel = fs.Int("parallel", 0, "trial workers (0 = GOMAXPROCS, 1 = sequential); never changes the report")
 		tenants  = fs.String("tenants", "", "background-tenant override: ';'-separated specs (\"burst:rate=34.5,on_frac=0.1\") or JSON (see -list)")
+		def      = fs.String("defense", "", "LLC-defense override: one spec (\"partition:ways=4\") or \"none\" (see -list)")
 		outFile  = fs.String("o", "", "write the report to a file instead of stdout")
-		list     = fs.Bool("list", false, "list scenario ids and tenant models")
+		list     = fs.Bool("list", false, "list scenario ids, tenant models and defense models")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -60,6 +63,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, l := range tenant.ModelList() {
 			fmt.Fprintln(stdout, l)
 		}
+		fmt.Fprintln(stdout, "\ndefense models (-defense \"model:key=value,...\"):")
+		for _, l := range defense.ModelList() {
+			fmt.Fprintln(stdout, l)
+		}
 		return 0
 	}
 	specs, err := tenant.ParseList(*tenants)
@@ -67,8 +74,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "llcattack: %v\n", err)
 		return 2
 	}
+	defSpec, err := defense.ParseOpt(*def)
+	if err != nil {
+		fmt.Fprintf(stderr, "llcattack: %v\n", err)
+		return 2
+	}
 	if *id == "" {
-		fmt.Fprintln(stderr, "usage: llcattack -scenario <id> [-trials N] [-seed S] [-parallel K] [-tenants SPEC] | -list")
+		fmt.Fprintln(stderr, "usage: llcattack -scenario <id> [-trials N] [-seed S] [-parallel K] [-tenants SPEC] [-defense SPEC] | -list")
 		return 2
 	}
 	if _, ok := scenario.Lookup(*id); !ok {
@@ -111,7 +123,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	start := time.Now()
-	rep, err := scenario.RunTenants(*id, specs, *trials, *parallel, *seed)
+	rep, err := scenario.RunWith(*id, specs, defSpec, *trials, *parallel, *seed)
 	if err != nil {
 		return fail(err)
 	}

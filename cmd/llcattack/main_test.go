@@ -109,6 +109,96 @@ func TestStreamTenantGolden(t *testing.T) {
 	}
 }
 
+// TestQuiesceDefenseGolden pins one defended scenario variant
+// byte-for-byte: covert/channel/quiesce (quantized probe feedback) at a
+// fixed seed, identical at any worker count. The committed artifact
+// certifies the defense: every trial fails (the channel is unusable
+// under a 512-cycle timer quantum). Regenerate after an intentional
+// change with `go test ./cmd/llcattack -run TestQuiesceDefenseGolden
+// -update`.
+func TestQuiesceDefenseGolden(t *testing.T) {
+	args := []string{"-scenario", "covert/channel/quiesce", "-trials", "4", "-seed", "5"}
+	golden := filepath.Join("testdata", "covertquiesce_trials4_seed5.golden.json")
+
+	for _, workers := range []int{1, 8} {
+		var stdout, stderr bytes.Buffer
+		if code := run(append(args, "-parallel", strconv.Itoa(workers)), &stdout, &stderr); code != 0 {
+			t.Fatalf("run exited %d: %s", code, stderr.String())
+		}
+		if *update && workers == 1 {
+			if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("rewrote %s (%d bytes)", golden, stdout.Len())
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden file (run with -update to create it): %v", err)
+		}
+		if !bytes.Equal(stdout.Bytes(), want) {
+			t.Errorf("-parallel=%d output drifted from %s:\ngot:\n%s\nwant:\n%s",
+				workers, golden, stdout.Bytes(), want)
+		}
+	}
+
+	// The committed artifact itself must certify the defense worked:
+	// zero successful trials.
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Trials    int `json:"trials"`
+		Aggregate struct {
+			Successes int `json:"successes"`
+		} `json:"aggregate"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("golden is not a report: %v", err)
+	}
+	if rep.Trials != 4 || rep.Aggregate.Successes != 0 {
+		t.Fatalf("golden does not certify the defense: %d/%d trials succeeded",
+			rep.Aggregate.Successes, rep.Trials)
+	}
+}
+
+// TestDefenseFlag covers the -defense override path: a bad spec is a
+// usage error; a good spec is recorded in the report; an override that
+// fails geometry validation is a graceful error, not a panic.
+func TestDefenseFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-scenario", "scan/psd", "-defense", "moat"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad defense spec: exit %d, want 2", code)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	// partition:ways=7 equals the scaled host's LLC associativity: the
+	// geometry cross-check must reject it without panicking.
+	if code := run([]string{"-scenario", "scan/psd", "-trials", "1", "-seed", "4",
+		"-defense", "partition:ways=7"}, &stdout, &stderr); code != 1 {
+		t.Errorf("invalid partition geometry: exit %d, want 1 (stderr %q)", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	code := run([]string{"-scenario", "covert/channel", "-trials", "1", "-seed", "4",
+		"-defense", "quiesce:quantum=128"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("defense override run exited %d: %s", code, stderr.String())
+	}
+	var rep struct {
+		Defense *struct {
+			Model   string  `json:"model"`
+			Quantum float64 `json:"quantum"`
+		} `json:"defense"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Defense == nil || rep.Defense.Model != "quiesce" || rep.Defense.Quantum != 128 {
+		t.Errorf("report does not self-describe the defense override: %+v", rep.Defense)
+	}
+}
+
 // TestTenantsFlag covers the -tenants override path: a bad spec is a
 // usage error; a good spec is recorded in the report.
 func TestTenantsFlag(t *testing.T) {

@@ -8,7 +8,9 @@
 // are printed to stderr, never into the report). -json emits the reports
 // as machine-readable JSON instead of text tables. -tenants replaces
 // every experiment's environment noise with structured background
-// tenants (internal/tenant spec strings or JSON).
+// tenants (internal/tenant spec strings or JSON); -defense deploys an
+// LLC countermeasure (internal/defense spec string) on every
+// experiment's hosts.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/defense"
 	"repro/internal/experiments"
 	"repro/internal/tenant"
 )
@@ -41,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trials   = fs.Int("trials", 0, "override trial counts (0 = default)")
 		parallel = fs.Int("parallel", 0, "trial workers per experiment (0 = GOMAXPROCS, 1 = sequential)")
 		tenants  = fs.String("tenants", "", "background-tenant override replacing the environment noise: ';'-separated specs or JSON (see -list)")
+		def      = fs.String("defense", "", "LLC-defense override deployed on every experiment host: one spec (\"partition:ways=4\") or \"none\" (see -list)")
 		asJSON   = fs.Bool("json", false, "emit reports as JSON instead of text tables")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -58,6 +62,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, l := range tenant.ModelList() {
 			fmt.Fprintln(stdout, l)
 		}
+		fmt.Fprintln(stdout, "\ndefense models (-defense \"model:key=value,...\"):")
+		for _, l := range defense.ModelList() {
+			fmt.Fprintln(stdout, l)
+		}
 		return 0
 	}
 	specs, err := tenant.ParseList(*tenants)
@@ -65,7 +73,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "llcrepro: %v\n", err)
 		return 2
 	}
-	opt := experiments.Options{Seed: *seed, Full: *full, Trials: *trials, Workers: *parallel, Tenants: specs}
+	defSpec, err := defense.ParseOpt(*def)
+	if err != nil {
+		fmt.Fprintf(stderr, "llcrepro: %v\n", err)
+		return 2
+	}
+	opt := experiments.Options{Seed: *seed, Full: *full, Trials: *trials, Workers: *parallel, Tenants: specs, Defense: defSpec}
 	ids := []string{}
 	switch {
 	case *all:

@@ -55,7 +55,29 @@ func TestRunBadArgs(t *testing.T) {
 	if code := run([]string{"-exp", "nope"}, &stdout, &stderr); code != 2 {
 		t.Errorf("unknown experiment: exit %d, want 2", code)
 	}
+	if code := run([]string{"-exp", "fig2", "-defense", "moat"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad defense spec: exit %d, want 2", code)
+	}
+	stdout.Reset()
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 || stdout.Len() == 0 {
 		t.Errorf("-list: exit %d, output %q", code, stdout.String())
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte("defense models")) {
+		t.Error("-list does not mention the defense registry")
+	}
+}
+
+// TestDefenseOverride runs one cheap experiment against a defended
+// host: the flag must thread through Options into every runner config
+// without error.
+func TestDefenseOverride(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-exp", "fig2", "-trials", "1", "-seed", "3",
+		"-defense", "quiesce:quantum=128"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("defended fig2 exited %d: %s", code, stderr.String())
+	}
+	if stdout.Len() == 0 {
+		t.Fatal("defended fig2 produced no report")
 	}
 }

@@ -1,7 +1,7 @@
 // Command llcsweep runs a configuration sweep: a declarative grid of
 // replacement policy x SF associativity x slice count x noise rate x
-// tenant workload model x cell experiment, expanded by internal/sweep
-// and executed on the
+// tenant workload model x LLC defense x cell experiment, expanded by
+// internal/sweep and executed on the
 // parallel trial engine. The aggregated artifact (JSON by default, CSV
 // with -csv) goes to stdout (or -o) and is byte-identical for every
 // -parallel value and across runs on the same architecture (float
@@ -19,6 +19,7 @@
 //	  "slices": [2, 4],
 //	  "noise_rates": [0.29, 11.5],
 //	  "tenant_models": ["poisson", "burst", "stream"],
+//	  "defenses": ["none", "partition:ways=4"],
 //	  "trials": 10,
 //	  "seed": 1
 //	}
@@ -39,6 +40,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/defense"
 	"repro/internal/experiments"
 	"repro/internal/sweep"
 	"repro/internal/tenant"
@@ -63,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		slices   = fs.String("slices", "", "comma-separated LLC/SF slice counts")
 		noise    = fs.String("noise", "", "comma-separated noise rates in accesses/ms/set (0.29=local, 11.5=Cloud Run)")
 		tmodels  = fs.String("tenant-models", "", "comma-separated background tenant models (poisson,burst,stream,hotset,churn; see -list)")
+		defs     = fs.String("defenses", "", "comma-separated LLC defense specs (none,partition:ways=4,randomize,scatter,quiesce; see -list)")
 		trials   = fs.Int("trials", 0, "trials per cell (0 = default 10)")
 		seed     = fs.Uint64("seed", 1, "deterministic seed (an explicit 0 is honoured)")
 		parallel = fs.Int("parallel", 0, "trial workers (0 = GOMAXPROCS, 1 = sequential); never changes the artifact")
@@ -82,6 +85,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stdout, "\ntenant models (-tenant-models axis):")
 		for _, l := range tenant.ModelList() {
+			fmt.Fprintln(stdout, l)
+		}
+		fmt.Fprintln(stdout, "\ndefense models (-defenses axis; \"none\" = undefended):")
+		for _, l := range defense.ModelList() {
 			fmt.Fprintln(stdout, l)
 		}
 		return 0
@@ -123,6 +130,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if err == nil {
 		spec.TenantModels, err = mergeStrings(spec.TenantModels, *tmodels)
+	}
+	if err == nil {
+		spec.Defenses, err = mergeStrings(spec.Defenses, *defs)
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "llcsweep: %v\n", err)

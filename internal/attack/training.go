@@ -151,9 +151,17 @@ type TrainingStats struct {
 }
 
 // TrainAll trains both classifiers from this session's data and returns
-// them with the PSD validation metrics.
+// them with the PSD validation metrics. When the training pool cannot
+// assemble labelled traces for both classes — on an undefended host it
+// always can, but an index-scrambling defense (randomize, scatter)
+// scatters the page-offset pool so thinly that no monitored set
+// resolves — it returns nil classifiers so the caller can fail its
+// training step instead of panicking inside the classifier.
 func (s *Session) TrainAll(p psd.Params, rng *xrand.Rand) (*psd.Scanner, *Extractor, TrainingStats) {
 	td := s.CollectTrainingData(p, 12, 24)
+	if len(td.Target) == 0 || len(td.NonTarget) == 0 {
+		return nil, nil, TrainingStats{TargetTraces: len(td.Target), NonTargetTraces: len(td.NonTarget)}
+	}
 	scanner, m := psd.TrainScanner(p, td.Target, td.NonTarget, rng)
 	ex := TrainExtractor(s.V.IterCycles, td.Traces, td.Truth, rng)
 	return scanner, ex, TrainingStats{

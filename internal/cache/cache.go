@@ -13,20 +13,27 @@ type Tag uint64
 
 // Set is one associative set: ways tagged lines plus replacement state and
 // an optional per-way payload (used by the hierarchy for coherence state).
+// In a way-partitioned cache (Config.PartitionAt > 0) the replacement
+// state is split per region: pol governs ways [0, split) and pol2 ways
+// [split, ways), each an independent policy instance of its region's
+// size; unpartitioned sets keep pol over the whole set and a nil pol2.
 type Set struct {
 	tags    []Tag
 	valid   []bool
 	payload []uint8
 	pol     policyState
+	pol2    policyState
 }
 
 // Cache is a single-array set-associative cache (one slice of a sliced
-// structure, or a whole private cache).
+// structure, or a whole private cache). split is the way-partition
+// boundary (0 = unpartitioned).
 type Cache struct {
 	name  string
 	sets  []Set
 	ways  int
 	nsets int
+	split int
 }
 
 // Config describes a cache array's geometry.
@@ -35,6 +42,12 @@ type Config struct {
 	Sets   int
 	Ways   int
 	Policy PolicyKind
+	// PartitionAt way-partitions every set into region 0 (ways
+	// [0, PartitionAt)) and region 1 (the rest), each with independent
+	// replacement state; allocations are then confined to the region
+	// named in InsertRegion. 0 (the default) builds an unpartitioned
+	// cache whose behaviour is bit-identical to the pre-partition code.
+	PartitionAt int
 }
 
 // New builds a cache. rng seeds randomized replacement policies; it must
@@ -43,17 +56,75 @@ func New(cfg Config, rng *xrand.Rand) *Cache {
 	if cfg.Sets <= 0 || cfg.Ways <= 0 {
 		panic(fmt.Sprintf("cache %q: invalid geometry %d sets x %d ways", cfg.Name, cfg.Sets, cfg.Ways))
 	}
-	c := &Cache{name: cfg.Name, ways: cfg.Ways, nsets: cfg.Sets}
+	if cfg.PartitionAt < 0 || cfg.PartitionAt >= cfg.Ways {
+		panic(fmt.Sprintf("cache %q: partition at %d outside (0, %d)", cfg.Name, cfg.PartitionAt, cfg.Ways))
+	}
+	c := &Cache{name: cfg.Name, ways: cfg.Ways, nsets: cfg.Sets, split: cfg.PartitionAt}
 	c.sets = make([]Set, cfg.Sets)
 	for i := range c.sets {
-		c.sets[i] = Set{
+		s := Set{
 			tags:    make([]Tag, cfg.Ways),
 			valid:   make([]bool, cfg.Ways),
 			payload: make([]uint8, cfg.Ways),
-			pol:     newPolicyState(cfg.Policy, cfg.Ways, rng),
 		}
+		if c.split > 0 {
+			s.pol = newPolicyState(cfg.Policy, c.split, rng)
+			s.pol2 = newPolicyState(cfg.Policy, cfg.Ways-c.split, rng)
+		} else {
+			s.pol = newPolicyState(cfg.Policy, cfg.Ways, rng)
+		}
+		c.sets[i] = s
 	}
 	return c
+}
+
+// Split returns the way-partition boundary (0 = unpartitioned).
+func (c *Cache) Split() int { return c.split }
+
+// touch records a hit on way w against the owning region's policy.
+func (s *Set) touch(split, w int) {
+	if split > 0 && w >= split {
+		s.pol2.touch(w - split)
+		return
+	}
+	s.pol.touch(w)
+}
+
+// fill records an insertion into way w against the owning region's
+// policy.
+func (s *Set) fill(split, w int) {
+	if split > 0 && w >= split {
+		s.pol2.insert(w - split)
+		return
+	}
+	s.pol.insert(w)
+}
+
+// regionBounds returns the way range [lo, hi) a region may allocate in.
+// Region -1 (or an unpartitioned cache) spans every way; on a
+// partitioned cache an unregioned insertion is a programming error —
+// it would silently breach the isolation the partition exists for.
+func (c *Cache) regionBounds(region int) (lo, hi int) {
+	if c.split == 0 {
+		return 0, c.ways
+	}
+	switch region {
+	case 0:
+		return 0, c.split
+	case 1:
+		return c.split, c.ways
+	default:
+		panic(fmt.Sprintf("cache %q: unregioned insert into a partitioned cache", c.name))
+	}
+}
+
+// regionVictim selects the eviction victim within the region's ways per
+// the region's own policy instance.
+func (c *Cache) regionVictim(s *Set, lo int) int {
+	if c.split > 0 && lo == c.split {
+		return c.split + s.pol2.victim()
+	}
+	return lo + s.pol.victim()
 }
 
 // Name returns the configured name ("L2", "LLC[3]", ...).
@@ -79,7 +150,7 @@ func (c *Cache) Lookup(idx int, tag Tag) (payload uint8, hit bool) {
 	s := c.set(idx)
 	for w, v := range s.valid {
 		if v && s.tags[w] == tag {
-			s.pol.touch(w)
+			s.touch(c.split, w)
 			return s.payload[w], true
 		}
 	}
@@ -108,33 +179,47 @@ type Evicted struct {
 
 // Insert fills tag into set idx with the given payload, evicting a line if
 // the set is full. If the tag is already present its payload is updated
-// and replacement state touched; no eviction occurs.
+// and replacement state touched; no eviction occurs. On a way-partitioned
+// cache Insert panics — use InsertRegion, which names the allocating
+// domain's region.
 func (c *Cache) Insert(idx int, tag Tag, payload uint8) Evicted {
+	return c.InsertRegion(-1, idx, tag, payload)
+}
+
+// InsertRegion is Insert with allocation confined to one region of a
+// way-partitioned cache: region 0 is ways [0, Split()), region 1 the
+// remainder, each evicting per its own policy instance. Hits anywhere in
+// the set still update in place — residency is set-wide, only
+// allocation is regioned. On an unpartitioned cache the region
+// (including -1, "unregioned") is ignored and behaviour is identical to
+// the historical Insert.
+func (c *Cache) InsertRegion(region, idx int, tag Tag, payload uint8) Evicted {
 	s := c.set(idx)
+	lo, hi := c.regionBounds(region)
 	// Already present: update in place.
 	for w, v := range s.valid {
 		if v && s.tags[w] == tag {
 			s.payload[w] = payload
-			s.pol.touch(w)
+			s.touch(c.split, w)
 			return Evicted{}
 		}
 	}
-	// Free way available.
-	for w, v := range s.valid {
-		if !v {
+	// Free way available within the region.
+	for w := lo; w < hi; w++ {
+		if !s.valid[w] {
 			s.tags[w] = tag
 			s.valid[w] = true
 			s.payload[w] = payload
-			s.pol.insert(w)
+			s.fill(c.split, w)
 			return Evicted{}
 		}
 	}
-	// Evict per policy.
-	w := s.pol.victim()
+	// Evict per the region's policy.
+	w := c.regionVictim(s, lo)
 	out := Evicted{Tag: s.tags[w], Payload: s.payload[w], Valid: true}
 	s.tags[w] = tag
 	s.payload[w] = payload
-	s.pol.insert(w)
+	s.fill(c.split, w)
 	return out
 }
 
@@ -194,6 +279,9 @@ func (c *Cache) FlushSet(idx int) {
 		s.valid[w] = false
 	}
 	s.pol.reset()
+	if s.pol2 != nil {
+		s.pol2.reset()
+	}
 }
 
 // FlushAll invalidates the whole cache.
@@ -215,5 +303,9 @@ func (c *Cache) Reset(rng *xrand.Rand) {
 		}
 		s.pol.reset()
 		s.pol.reseed(rng)
+		if s.pol2 != nil {
+			s.pol2.reset()
+			s.pol2.reseed(rng)
+		}
 	}
 }

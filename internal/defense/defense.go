@@ -1,0 +1,178 @@
+// Package defense models pluggable LLC countermeasures: hardware or
+// hypervisor mechanisms a cloud host could deploy against the
+// cross-tenant cache attacks this repository reproduces. Each
+// countermeasure is a Model built from a declarative Spec (mirroring
+// internal/tenant) and plugged into the simulated hierarchy at three
+// narrow points:
+//
+//   - the LLC/SF set-index derivation (Index), where keyed
+//     randomization and per-domain skews live;
+//   - way allocation (PartitionWays/Region), where CAT/DAWG-style
+//     partitions between security domains live;
+//   - the attacker-visible timing measurement (Observe), where
+//     quantized or jittered probe feedback lives.
+//
+// Shipped models: partition (way-partitioning between the attacker's
+// and the victim's security domains), randomize (CEASER-style keyed
+// index randomization with periodic rekeying), scatter
+// (ScatterCache-style per-domain skewed index derivation) and quiesce
+// (quantized/jittered hit-miss timing).
+//
+// # Determinism contract
+//
+// A model participates in the simulator's byte-level reproducibility
+// exactly as tenant models do:
+//
+//   - All keyed state (randomization keys, skew keys, rekey epochs)
+//     derives from the seed passed to Reset — never from the host RNG —
+//     so enabling a defense cannot perturb the host's own stream order.
+//   - Index is pure: privileged ground-truth queries may call it any
+//     number of times without changing behaviour. Per-access state
+//     (rekey counters) advances only in Tick, which the hierarchy calls
+//     exactly once per demand access.
+//   - Observe draws jitter (when configured) from the rng argument (the
+//     host stream); the draw order is fixed by the deterministic
+//     measurement sequence of the simulation.
+//   - Reset must restore the exact post-construction state and stay
+//     allocation-free, so pooled hosts can recycle defense state across
+//     trials (the hierarchy.Host.Reset contract).
+package defense
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// Domain is the security domain of one access, as the host's isolation
+// mechanism sees it: which tenant container issued it. The simulated
+// hierarchy maps its fixed core layout onto domains (cores 0-1 are the
+// first container — the attacker's main and helper threads — and every
+// other core belongs to the co-located victim container); background
+// tenant interference carries its own domain.
+type Domain uint8
+
+// Security domains.
+const (
+	// DomainAttacker is the first container's domain (cores 0 and 1).
+	DomainAttacker Domain = iota
+	// DomainVictim is the co-located victim container's domain (every
+	// other core).
+	DomainVictim
+	// DomainOther is the background-tenant domain (internal/tenant
+	// interference replayed by the host's lazy noise sync).
+	DomainOther
+)
+
+// String names the domain.
+func (d Domain) String() string {
+	switch d {
+	case DomainAttacker:
+		return "attacker"
+	case DomainVictim:
+		return "victim"
+	case DomainOther:
+		return "other"
+	default:
+		return "unknown"
+	}
+}
+
+// Model is one LLC countermeasure. The hierarchy consults it on every
+// shared-structure access; models answer from Reset-seeded state only
+// (see the package determinism contract). Models that do not use a hook
+// implement it as the identity/no-op.
+type Model interface {
+	// PartitionWays returns the number of LLC/SF ways reserved for the
+	// attacker-domain allocation region, or 0 when the model does not
+	// partition ways. It is fixed for the model's lifetime: the
+	// hierarchy builds its shared cache arrays around it.
+	PartitionWays() int
+	// Region maps a domain to its way-allocation region: 0 is the
+	// attacker region ([0, PartitionWays) ways), 1 the shared region
+	// (the remaining ways). Only meaningful when PartitionWays() > 0.
+	Region(d Domain) int
+	// Index derives the defended per-slice set index for one access:
+	// d is the accessing domain, line the physical line address, slice
+	// and base the undefended slice/set coordinates, and sets the
+	// per-slice set count (a power of two). Index must be pure — the
+	// hierarchy also uses it for privileged ground-truth resolution.
+	Index(d Domain, line uint64, slice, base, sets int) int
+	// Observe filters one attacker-visible timing measurement (cycles),
+	// modelling quantized or noisy timer feedback. rng is the host
+	// stream; models that do not draw from it must not touch it.
+	Observe(rng *xrand.Rand, measured float64) float64
+	// Tick advances per-access state (rekey counters); the hierarchy
+	// calls it exactly once per demand access.
+	Tick()
+	// Reset re-derives all internal state from seed, as if the model
+	// had just been built. It must be allocation-free: pooled hosts
+	// call it once per recycled trial.
+	Reset(seed uint64)
+}
+
+// nopModel provides identity implementations for every hook; concrete
+// models embed it and override what they use.
+type nopModel struct{}
+
+func (nopModel) PartitionWays() int                              { return 0 }
+func (nopModel) Region(Domain) int                               { return 1 }
+func (nopModel) Index(_ Domain, _ uint64, _, base, _ int) int    { return base }
+func (nopModel) Observe(_ *xrand.Rand, measured float64) float64 { return measured }
+func (nopModel) Tick()                                           {}
+func (nopModel) Reset(uint64)                                    {}
+
+// modelInfo is one registry entry.
+type modelInfo struct {
+	name  string
+	desc  string
+	build func(Spec) (Model, error)
+}
+
+var registry = map[string]modelInfo{}
+
+// register adds a model family to the registry; called from the model
+// files' init functions. Duplicate names are programming errors.
+func register(name, desc string, build func(Spec) (Model, error)) {
+	if _, dup := registry[name]; dup {
+		panic("defense: duplicate model " + name)
+	}
+	registry[name] = modelInfo{name: name, desc: desc, build: build}
+}
+
+// Models returns the sorted names of all registered model families.
+func Models() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ModelList returns "name  description" lines for every model family,
+// sorted by name (the -list output of the CLIs).
+func ModelList() []string {
+	names := Models()
+	out := make([]string, len(names))
+	for i, name := range names {
+		out[i] = fmt.Sprintf("%-10s %s", name, registry[name].desc)
+	}
+	return out
+}
+
+// Salts decorrelating the keyed index hashes' inputs (arbitrary odd
+// constants; the domain salt offsets by one so DomainAttacker's zero
+// value still contributes).
+const (
+	sliceSalt  = 0x9e37_79b9_7f4a_7c15
+	domainSalt = 0xc2b2_ae3d_27d4_eb4f
+)
+
+// keyedIndex maps (key, slice, line) onto [0, sets) through the
+// splitmix64 stream — the shared primitive of the randomize and scatter
+// models. sets must be a power of two (the hierarchy guarantees it).
+func keyedIndex(key uint64, slice int, line uint64, sets int) int {
+	return int(xrand.Stream(key^uint64(slice)*sliceSalt, line) & uint64(sets-1))
+}

@@ -1,0 +1,37 @@
+package defense
+
+func init() {
+	register("partition",
+		"CAT/DAWG-style way-partitioning: attacker allocations confined to `ways` LLC/SF ways, victim+tenants share the rest",
+		func(s Spec) (Model, error) { return &partitionModel{ways: s.Ways}, nil })
+}
+
+// partitionModel reserves the first Ways ways of every LLC and SF set
+// for the attacker container and confines every other domain (the
+// victim container and background tenants) to the remaining ways —
+// Intel CAT's class-of-service masks hardened into a DAWG-style
+// security partition that also covers the Snoop Filter (partitioning
+// the LLC alone would leave the paper's SF attack untouched). Lookups
+// still hit anywhere; only allocation is regioned, which suffices:
+// neither side can displace the other's entries, so the attacker's
+// primes never observe victim activity.
+//
+// The model is stateless — the partition is enforced by the cache
+// arrays the hierarchy builds around PartitionWays — so every hook
+// beyond the two partition queries is the embedded no-op.
+type partitionModel struct {
+	nopModel
+	ways int
+}
+
+// PartitionWays returns the attacker-region way count.
+func (m *partitionModel) PartitionWays() int { return m.ways }
+
+// Region confines the attacker domain to region 0; the victim and
+// background tenants share region 1.
+func (m *partitionModel) Region(d Domain) int {
+	if d == DomainAttacker {
+		return 0
+	}
+	return 1
+}

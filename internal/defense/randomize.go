@@ -1,0 +1,58 @@
+package defense
+
+import "repro/internal/xrand"
+
+func init() {
+	register("randomize",
+		"CEASER-style keyed index randomization, rekeyed every `period` accesses (rekeys orphan resident lines)",
+		func(s Spec) (Model, error) { return &randomizeModel{period: uint64(s.Period)}, nil })
+}
+
+// randomizeModel derives every LLC/SF set index from a keyed hash of
+// the physical line address instead of the address bits directly, as
+// CEASER encrypts line addresses before indexing: congruence becomes a
+// property of the current key, page-offset structure stops constraining
+// the reachable sets, and eviction sets the attacker assembled under
+// one key dissolve at the next rekey. Every `period` demand accesses
+// the key rotates to the next output of the seed's splitmix stream;
+// resident lines are left in place under their old index — unreachable
+// until natural eviction, the simulation-level analogue of a remap
+// epoch's miss storm (real CEASER amortizes the same cost over a
+// gradual relocation window).
+//
+// All domains share the mapping (randomize isolates by obscurity, not
+// by domain); Tick carries the only mutable state, so Index stays pure
+// for privileged ground-truth queries.
+type randomizeModel struct {
+	nopModel
+	period uint64
+
+	seed  uint64
+	epoch uint64
+	ctr   uint64
+	key   uint64
+}
+
+// Reset re-derives the key schedule's root from seed and restarts the
+// first epoch.
+func (m *randomizeModel) Reset(seed uint64) {
+	m.seed = seed
+	m.epoch = 0
+	m.ctr = 0
+	m.key = xrand.Stream(seed, 0)
+}
+
+// Tick counts demand accesses and rotates the key at epoch boundaries.
+func (m *randomizeModel) Tick() {
+	m.ctr++
+	if m.ctr >= m.period {
+		m.ctr = 0
+		m.epoch++
+		m.key = xrand.Stream(m.seed, m.epoch)
+	}
+}
+
+// Index hashes the line address under the current epoch key.
+func (m *randomizeModel) Index(_ Domain, line uint64, slice, _, sets int) int {
+	return keyedIndex(m.key, slice, line, sets)
+}

@@ -1,0 +1,34 @@
+package defense
+
+import "repro/internal/xrand"
+
+func init() {
+	register("scatter",
+		"ScatterCache-style per-domain skewed index derivation: attacker and victim see unrelated set mappings",
+		func(Spec) (Model, error) { return &scatterModel{}, nil })
+}
+
+// scatterModel derives the LLC/SF set index from a keyed hash of the
+// physical line address AND the accessing security domain, as
+// ScatterCache keys its index derivation on the security domain ID:
+// the attacker's notion of congruence (well-defined within its own
+// domain, so its eviction sets still build and self-test) tells it
+// nothing about which physical set a victim line occupies, and the
+// page-offset structure its bulk construction sweeps is destroyed —
+// the victim's target set is overwhelmingly likely to sit outside the
+// sets the attacker can reach from the leaked page offset.
+//
+// The key is fixed per Reset (per trial): unlike randomize there is no
+// epoch state, so the model is pure after Reset.
+type scatterModel struct {
+	nopModel
+	key uint64
+}
+
+// Reset re-derives the skew key from seed.
+func (m *scatterModel) Reset(seed uint64) { m.key = xrand.Stream(seed, 0x5ca7) }
+
+// Index hashes the line address under the domain-specific key.
+func (m *scatterModel) Index(d Domain, line uint64, slice, _, sets int) int {
+	return keyedIndex(m.key^(uint64(d)+1)*domainSalt, slice, line, sets)
+}

@@ -43,6 +43,17 @@ func (BinSearch) Prune(e *Env, target Target, ta memory.VAddr, cands []memory.VA
 	ub := n
 	for i := 1; i <= ways; i++ {
 		lb := i - 1
+		// A collapsed bracket (ub == lb) means the first i-1 addresses
+		// already evict Ta on their own: the true minimal eviction set is
+		// SMALLER than `ways` — the regime a way-partitioned cache
+		// creates, where a domain's effective associativity is a fraction
+		// of the nominal one. The previous iteration's erroneous-state
+		// check confirmed that prefix evicts, so return it as the
+		// (smaller) minimal set; without this exit the search below would
+		// spin at ub-lb == 0 until the budget expires.
+		if ub <= lb {
+			return append([]memory.VAddr(nil), addrs[:i-1]...), nil
+		}
 		for ub-lb != 1 {
 			if b.Expired(e) {
 				return nil, ErrExhausted

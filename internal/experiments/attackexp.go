@@ -130,6 +130,13 @@ func Table6(o Options) *Report {
 	p := psd.DefaultParams(train.V.ExpectedAccessPeriod())
 	rng := xrand.New(o.Seed ^ 0x9)
 	scanner, ex, _ := train.TrainAll(p, rng)
+	if scanner == nil {
+		// An index-scrambling defense override (-defense randomize/scatter)
+		// starves the training pool; report the failure instead of running
+		// a scan with no classifier.
+		rep.Notes = append(rep.Notes, "training failed: no monitorable training sets under the configured defense")
+		return rep
+	}
 
 	type scen struct {
 		name    string
@@ -279,6 +286,10 @@ func EndToEnd(o Options) *Report {
 	p := psd.DefaultParams(train.V.ExpectedAccessPeriod())
 	rng := xrand.New(o.Seed ^ 0xe2)
 	scanner, ex, ts := train.TrainAll(p, rng)
+	if scanner == nil {
+		rep.Notes = append(rep.Notes, "training failed: no monitorable training sets under the configured defense")
+		return rep
+	}
 
 	pairs := trials(o, 6)
 	opt := attack.DefaultE2EOptions()

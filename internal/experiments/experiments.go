@@ -27,6 +27,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/defense"
 	"repro/internal/hierarchy"
 	"repro/internal/tenant"
 )
@@ -54,6 +55,11 @@ type Options struct {
 	// preserving the mix, so intensity axes stay meaningful under an
 	// override.
 	Tenants []tenant.Spec
+	// Defense, when non-nil, deploys the given LLC countermeasure
+	// (internal/defense) on every runner's hosts (cmd/llcrepro
+	// -defense), so each per-step table and figure can be regenerated
+	// against a defended hierarchy.
+	Defense *defense.Spec
 }
 
 // Report is a rendered experiment result.
@@ -193,15 +199,19 @@ func cloudConfig(o Options) hierarchy.Config {
 	return o.tenants(hierarchy.Scaled(4).WithCloudNoise())
 }
 
-// tenants applies the run's tenant override to an environment config.
-// Tenants win over the legacy noise knobs inside the hierarchy (the
-// preset NoiseRate becomes inert), while later WithNoiseRate calls
-// rescale the tenants' total rate in place of the flat knob.
+// tenants applies the run's environment overrides — tenant workloads
+// and the LLC defense — to a runner config. Tenants win over the legacy
+// noise knobs inside the hierarchy (the preset NoiseRate becomes
+// inert), while later WithNoiseRate calls rescale the tenants' total
+// rate in place of the flat knob.
 func (o Options) tenants(cfg hierarchy.Config) hierarchy.Config {
-	if len(o.Tenants) == 0 {
-		return cfg
+	if len(o.Tenants) > 0 {
+		cfg = cfg.WithTenants(o.Tenants...)
 	}
-	return cfg.WithTenants(o.Tenants...)
+	if o.Defense != nil {
+		cfg = cfg.WithDefense(*o.Defense)
+	}
+	return cfg
 }
 
 func trials(o Options, def int) int {

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/defense"
+	"repro/internal/hierarchy"
+	"repro/internal/tenant"
+)
+
+// TestHostPoolReusesEqualConfigs pins the Config.Key fix at the pool
+// layer: two equal-valued configs built independently — including
+// pointer fields (Defense) and slice fields (Tenants) that a naive
+// %+v fingerprint would print by address — must resolve to the SAME
+// pooled host, while a value difference must build a second host.
+func TestHostPoolReusesEqualConfigs(t *testing.T) {
+	mk := func() hierarchy.Config {
+		return hierarchy.Scaled(2).
+			WithTenants(tenant.Spec{Model: "stream", Rate: 11.5, LLCProb: 0.5, Width: 4}).
+			WithDefense(defense.Spec{Model: "quiesce", Quantum: 256})
+	}
+	p := &hostPool{}
+	h1 := p.get(mk(), 1)
+	h2 := p.get(mk(), 2)
+	if h1 != h2 {
+		t.Fatal("equal configs must share one pool entry (host-pool reuse defeated)")
+	}
+	if len(p.hosts) != 1 {
+		t.Fatalf("pool holds %d hosts, want 1", len(p.hosts))
+	}
+	other := mk().WithDefense(defense.Spec{Model: "quiesce", Quantum: 128})
+	if h3 := p.get(other, 3); h3 == h1 {
+		t.Fatal("different defense parameters must not share a pooled host")
+	}
+	if len(p.hosts) != 2 {
+		t.Fatalf("pool holds %d hosts, want 2", len(p.hosts))
+	}
+}

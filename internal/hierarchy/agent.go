@@ -49,9 +49,14 @@ func (a *Agent) Alloc(pages int) memory.Buffer { return a.as.Alloc(pages) }
 // code; attack logic must not inspect the result's high bits).
 func (a *Agent) Translate(va memory.VAddr) memory.PAddr { return a.as.Translate(va) }
 
-// SetOf returns the LLC/SF set a virtual address maps to (privileged:
-// used for ground truth only).
-func (a *Agent) SetOf(va memory.VAddr) SetID { return a.h.SetOf(a.as.Translate(va)) }
+// SetOf returns the LLC/SF set this agent's accesses to the virtual
+// address resolve to (privileged: used for ground truth only). The
+// resolution is domain-aware: under an index-transforming defense the
+// attacker's and the victim's agents legitimately map the same physical
+// line to different sets.
+func (a *Agent) SetOf(va memory.VAddr) SetID {
+	return a.h.setFor(domainOf(a.core), a.as.Translate(va))
+}
 
 // Access performs one demand load and advances the clock by its jittered
 // latency. It returns the latency and the level that served the access.
@@ -65,7 +70,8 @@ func (a *Agent) Access(va memory.VAddr) (clock.Cycles, Level) {
 
 // TimedAccess performs one load and returns the latency an attacker would
 // measure with a serialize-rdtsc pair: the access latency plus fixed
-// measurement overhead, with timer jitter.
+// measurement overhead, with timer jitter — filtered, when a defense
+// quiesces the timing channel, through its measurement hook.
 func (a *Agent) TimedAccess(va memory.VAddr) (clock.Cycles, Level) {
 	lat, level := a.Access(va)
 	measured := float64(lat) + a.h.cfg.Lat.Measure
@@ -76,7 +82,7 @@ func (a *Agent) TimedAccess(va memory.VAddr) (clock.Cycles, Level) {
 			measured = 1
 		}
 	}
-	return clock.Cycles(measured), level
+	return clock.Cycles(a.h.observe(measured)), level
 }
 
 // AccessSeq performs dependent (pointer-chase) accesses: each access waits
@@ -99,7 +105,10 @@ func (a *Agent) AccessSeq(vas []memory.VAddr) clock.Cycles {
 // plus the maximum base latency, plus a drain cost per additional access
 // (paper §4.1: the pattern of Gruss et al. [31]). It returns the total
 // time and the number of accesses served beyond the L2 (the "miss count"
-// an attacker could infer from the duration).
+// an attacker could infer from the duration). The returned total is the
+// attacker's rdtsc-delimited MEASUREMENT of the batch, so a quiescing
+// defense filters it; the virtual clock always advances by the true
+// duration.
 func (a *Agent) AccessParallel(vas []memory.VAddr) (clock.Cycles, int) {
 	if len(vas) == 0 {
 		return 0, 0
@@ -127,7 +136,7 @@ func (a *Agent) AccessParallel(vas []memory.VAddr) (clock.Cycles, int) {
 	}
 	total += maxBase
 	a.h.clk.Advance(clock.Cycles(maxBase))
-	return clock.Cycles(total), misses
+	return clock.Cycles(a.h.observe(total)), misses
 }
 
 // LoadShared performs the two-thread access pattern from the paper (§4.2):
@@ -221,7 +230,7 @@ func (a *Agent) FlushAll(vas []memory.VAddr) clock.Cycles {
 // Flush models clflush: the line is evicted from the entire hierarchy.
 func (a *Agent) Flush(va memory.VAddr) clock.Cycles {
 	pa := a.as.Translate(va)
-	a.h.flushLine(pa)
+	a.h.flushLine(a.core, pa)
 	c := clock.Cycles(a.h.cfg.Lat.Flush)
 	a.h.clk.Advance(c)
 	return c

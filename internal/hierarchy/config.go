@@ -20,12 +20,17 @@
 // per LLC/SF set by the workload models of internal/tenant — a flat
 // Poisson process by default (§4.3 / Figure 2 of the paper), or
 // structured burst/stream/hotset/churn tenants via Config.Tenants.
+// Optionally one LLC countermeasure model (internal/defense) hooks the
+// shared structures via Config.Defense: way-partitioned allocation,
+// keyed/per-domain set-index derivation, and quantized or jittered
+// attacker-visible timing.
 package hierarchy
 
 import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/defense"
 	"repro/internal/memory"
 	"repro/internal/tenant"
 )
@@ -139,6 +144,14 @@ type Config struct {
 	// Tenants makes the Config non-comparable (callers that need a map
 	// key use Key).
 	Tenants []tenant.Spec
+
+	// Defense declares an LLC countermeasure model (internal/defense):
+	// way-partitioning between security domains, keyed index
+	// randomization or per-domain skew, or quantized probe feedback.
+	// Nil (the default) is the undefended host, bit-identical to the
+	// pre-defense code paths. Callers that need a map key use Key,
+	// which canonicalizes the pointer by value.
+	Defense *defense.Spec
 
 	// MemoryBytes sizes the host's physical memory.
 	MemoryBytes uint64
@@ -319,13 +332,23 @@ func (c Config) WithTenants(specs ...tenant.Spec) Config {
 	return c
 }
 
-// Validate rejects configurations whose noise or tenant parameters are
-// out of range — a negative rate, a probability outside [0, 1], or a
-// malformed tenant spec — before they can silently produce a nonsense
-// host. Geometry errors (non-power-of-two set counts) still panic in
-// the index helpers, as before. NewHost calls Validate and panics on
-// error; callers that assemble configs from external input (sweep
-// specs, CLI flags) call it directly for a graceful error.
+// WithDefense returns a copy defended by the given countermeasure spec
+// (replacing any previous defense). The spec is copied, so later
+// mutation of the argument cannot alias into the config.
+func (c Config) WithDefense(sp defense.Spec) Config {
+	c.Defense = &sp
+	return c
+}
+
+// Validate rejects configurations whose noise, tenant or defense
+// parameters are out of range — a negative rate, a probability outside
+// [0, 1], a malformed tenant spec, or a way partition that leaves a
+// shared structure without ways on one side — before they can silently
+// produce a nonsense host. Geometry errors (non-power-of-two set
+// counts) still panic in the index helpers, as before. NewHost calls
+// Validate and panics on error; callers that assemble configs from
+// external input (sweep specs, CLI flags) call it directly for a
+// graceful error.
 func (c Config) Validate() error {
 	switch {
 	case c.NoiseRate < 0:
@@ -344,13 +367,46 @@ func (c Config) Validate() error {
 			return fmt.Errorf("hierarchy: tenant %d: %w", i, err)
 		}
 	}
+	if c.Defense != nil {
+		if err := c.Defense.Validate(); err != nil {
+			return fmt.Errorf("hierarchy: %w", err)
+		}
+		// A way partition must leave at least one way per region in BOTH
+		// partitioned structures (the LLC slice is one way narrower than
+		// the SF on every shipped geometry, so it binds first).
+		if pw := c.Defense.PartitionWays(); pw > 0 {
+			if pw >= c.LLCWays {
+				return fmt.Errorf("hierarchy: defense partition ways %d must stay below LLCWays %d", pw, c.LLCWays)
+			}
+			if pw >= c.SFWays {
+				return fmt.Errorf("hierarchy: defense partition ways %d must stay below SFWays %d", pw, c.SFWays)
+			}
+		}
+	}
 	return nil
 }
 
-// Key returns a deterministic string identity for the config. Config
-// carries a slice field (Tenants), so it cannot itself be a map key;
-// the trial engine's host pools key on this instead.
-func (c Config) Key() string { return fmt.Sprintf("%+v", c) }
+// Key returns a deterministic string identity for the config, built
+// from field VALUES only. Config carries a slice field (Tenants) and a
+// pointer field (Defense), so it cannot itself be a map key; the trial
+// engine's host pools key on this instead.
+//
+// The %+v rendering covers every present AND future field
+// automatically (slices print their elements, and tenant.Spec's
+// Stringer renders each spec canonically) — EXCEPT pointer fields,
+// which %+v would print by address, making every equal config look
+// distinct and silently defeating host-pool reuse. Defense is
+// therefore nil'ed out of the rendered copy and appended through its
+// spec's canonical String form; any future pointer field must get the
+// same treatment.
+func (c Config) Key() string {
+	v := c
+	v.Defense = nil
+	if c.Defense == nil {
+		return fmt.Sprintf("%+v", v)
+	}
+	return fmt.Sprintf("%+v|defense=%s", v, c.Defense.String())
+}
 
 // WithSharedPolicy returns a copy whose shared structures (LLC and SF)
 // use the given replacement policy. The private L2 keeps its configured

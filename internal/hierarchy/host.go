@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/clock"
+	"repro/internal/defense"
 	"repro/internal/memory"
 	"repro/internal/slicehash"
 	"repro/internal/tenant"
@@ -46,6 +47,11 @@ type Host struct {
 	noiseSeq uint64
 	lastSync []clock.Cycles // per (slice, index): last noise sync time
 	tenants  []tenantState  // background workload models, in spec order
+
+	// def is the LLC countermeasure model (nil = undefended);
+	// defSplit caches its way-partition boundary (0 = none).
+	def      defense.Model
+	defSplit int
 
 	sched eventQueue // scheduled external (victim) accesses
 
@@ -102,8 +108,35 @@ func buildTenants(cfg Config) []tenantState {
 	return nil
 }
 
+// defenseSeedSalt decorrelates the defense-model seed from every other
+// use of the host seed, exactly as tenantSeedSalt does for tenants; the
+// seed is derived arithmetically, never drawn from the host rng, so an
+// enabled defense cannot shift any other stream.
+const defenseSeedSalt = 0x0def_e45e_5eed_c0de
+
+// defenseSeed derives the defense model's key-schedule seed from the
+// host seed without consuming host rng draws.
+func defenseSeed(seed uint64) uint64 {
+	return xrand.Stream(seed^defenseSeedSalt, 0)
+}
+
+// buildDefense constructs the host's countermeasure model from the
+// config (nil when undefended). Like buildTenants it must not draw
+// from the host rng, and the config must already be validated.
+func buildDefense(cfg Config) defense.Model {
+	if cfg.Defense == nil {
+		return nil
+	}
+	m, err := cfg.Defense.Build()
+	if err != nil {
+		panic("hierarchy: " + err.Error()) // unreachable post-Validate
+	}
+	return m
+}
+
 // NewHost builds a host from the config with the given seed. It panics
-// on a config whose noise or tenant parameters fail Config.Validate.
+// on a config whose noise, tenant or defense parameters fail
+// Config.Validate.
 func NewHost(cfg Config, seed uint64) *Host {
 	if err := cfg.Validate(); err != nil {
 		panic(err.Error())
@@ -114,6 +147,11 @@ func NewHost(cfg Config, seed uint64) *Host {
 		rng:  rng,
 		mem:  memory.NewHost(cfg.MemoryBytes, rng.Split()),
 		hash: slicehash.New(cfg.Slices),
+	}
+	h.def = buildDefense(cfg)
+	if h.def != nil {
+		h.def.Reset(defenseSeed(seed))
+		h.defSplit = h.def.PartitionWays()
 	}
 	h.clk = clock.New(cfg.TimerJitter, rng.Split())
 	polRng := rng.Split()
@@ -127,8 +165,11 @@ func NewHost(cfg Config, seed uint64) *Host {
 	h.llc = make([]*cache.Cache, cfg.Slices)
 	h.sf = make([]*cache.Cache, cfg.Slices)
 	for s := 0; s < cfg.Slices; s++ {
-		h.llc[s] = cache.New(cache.Config{Name: fmt.Sprintf("LLC[%d]", s), Sets: cfg.LLCSets, Ways: cfg.LLCWays, Policy: cfg.LLCPolicy}, polRng)
-		h.sf[s] = cache.New(cache.Config{Name: fmt.Sprintf("SF[%d]", s), Sets: cfg.LLCSets, Ways: cfg.SFWays, Policy: cfg.SFPolicy}, polRng)
+		// The defense's way partition covers both shared structures: a
+		// partition that spared the Snoop Filter would leave the paper's
+		// SF attack untouched.
+		h.llc[s] = cache.New(cache.Config{Name: fmt.Sprintf("LLC[%d]", s), Sets: cfg.LLCSets, Ways: cfg.LLCWays, Policy: cfg.LLCPolicy, PartitionAt: h.defSplit}, polRng)
+		h.sf[s] = cache.New(cache.Config{Name: fmt.Sprintf("SF[%d]", s), Sets: cfg.LLCSets, Ways: cfg.SFWays, Policy: cfg.SFPolicy, PartitionAt: h.defSplit}, polRng)
 	}
 	h.lastSync = make([]clock.Cycles, cfg.Slices*cfg.LLCSets)
 	h.tenants = buildTenants(cfg)
@@ -166,6 +207,9 @@ func (h *Host) Reset(seed uint64) {
 	for i := range h.tenants {
 		h.tenants[i].model.Reset(tenantSeed(seed, i))
 	}
+	if h.def != nil {
+		h.def.Reset(defenseSeed(seed))
+	}
 	h.noiseSeq = 0
 	h.sched.events = h.sched.events[:0]
 	h.sched.draining = false
@@ -201,11 +245,65 @@ func (h *Host) llcIndex(pa memory.PAddr) int {
 	return int(uint64(pa)>>memory.LineBits) & (h.cfg.LLCSets - 1)
 }
 
-// SetOf returns the LLC/SF set of a physical address. It is privileged
-// information used by the simulator and by ground-truth validation, never
-// by attack code.
+// SetOf returns the LLC/SF set of a physical address under the BASE
+// (undefended) mapping. It is privileged information used by validation
+// code, never by attack code. Under an index-transforming defense the
+// per-domain mapping differs; the simulator and domain-aware ground
+// truth (Agent.SetOf) use setFor instead.
 func (h *Host) SetOf(pa memory.PAddr) SetID {
 	return SetID{Slice: h.hash.Slice(pa), Index: h.llcIndex(pa)}
+}
+
+// attackerCores is the number of leading cores forming the first
+// container's security domain: core 0 (the attacker's main thread) and
+// core 1 (its helper), the fixed assignment attack.Session and
+// evset.Env use. Every other core belongs to the victim container.
+const attackerCores = 2
+
+// domainOf maps a core to its security domain for the defense hooks.
+func domainOf(coreID int) defense.Domain {
+	if coreID < attackerCores {
+		return defense.DomainAttacker
+	}
+	return defense.DomainVictim
+}
+
+// setFor returns the LLC/SF set an access by domain d to pa resolves
+// to: the base mapping, transformed by the defense's index hook when
+// one is configured (keyed randomization, per-domain skew).
+func (h *Host) setFor(d defense.Domain, pa memory.PAddr) SetID {
+	s := SetID{Slice: h.hash.Slice(pa), Index: h.llcIndex(pa)}
+	if h.def != nil {
+		s.Index = h.def.Index(d, uint64(pa.Line()), s.Slice, s.Index, h.cfg.LLCSets)
+	}
+	return s
+}
+
+// SetOfDomain is the privileged domain-aware set resolution: the set an
+// access by domain d would touch. Ground-truth code compares the set a
+// victim line occupies (victim domain) with the sets attacker lines
+// occupy (attacker domain); under a skewing defense the two mappings
+// legitimately disagree.
+func (h *Host) SetOfDomain(d defense.Domain, pa memory.PAddr) SetID {
+	return h.setFor(d, pa)
+}
+
+// region maps a domain to its way-allocation region for the shared
+// structures (-1 = unpartitioned: allocate anywhere).
+func (h *Host) region(d defense.Domain) int {
+	if h.defSplit == 0 {
+		return -1
+	}
+	return h.def.Region(d)
+}
+
+// observe filters one attacker-visible timing measurement through the
+// defense's measurement hook (quantization, added jitter).
+func (h *Host) observe(measured float64) float64 {
+	if h.def == nil {
+		return measured
+	}
+	return h.def.Observe(h.rng, measured)
 }
 
 // latency draws a jittered base latency for the level.
@@ -253,16 +351,19 @@ func (h *Host) syncNoise(set SetID) {
 	}
 }
 
-// noiseAccess performs one background tenant access to the set.
+// noiseAccess performs one background tenant access to the set. Tenant
+// allocations carry the background domain: under a way partition they
+// share the victim region, never displacing attacker-region entries.
 func (h *Host) noiseAccess(set SetID, llcProb float64) {
 	h.noiseSeq++
+	reg := h.region(defense.DomainOther)
 	// Noise tags live far above any real frame so they can never collide
 	// with attacker or victim lines.
 	tag := cache.Tag(1<<62 | h.noiseSeq<<memory.LineBits)
-	ev := h.sf[set.Slice].Insert(set.Index, tag, noiseOwner)
+	ev := h.sf[set.Slice].InsertRegion(reg, set.Index, tag, noiseOwner)
 	h.handleSFEviction(set, ev)
 	if h.rng.Float64() < llcProb {
-		lev := h.llc[set.Slice].Insert(set.Index, tag, 0)
+		lev := h.llc[set.Slice].InsertRegion(reg, set.Index, tag, 0)
 		h.handleLLCEviction(lev)
 	}
 }
@@ -271,19 +372,22 @@ func (h *Host) noiseAccess(set SetID, llcProb float64) {
 
 // handleSFEviction processes the displacement of an SF entry: the owner's
 // private copies are back-invalidated and the line may be inserted into
-// the LLC by the reuse predictor.
+// the LLC by the reuse predictor — into the former owner's own region,
+// so a partition is never breached by the predictor.
 func (h *Host) handleSFEviction(set SetID, ev cache.Evicted) {
 	if !ev.Valid {
 		return
 	}
 	owner := int(ev.Payload)
+	reg := h.region(defense.DomainOther)
 	if owner != noiseOwner && owner < len(h.cores) {
 		pa := memory.PAddr(ev.Tag)
 		h.cores[owner].l1.Remove(h.l1Index(pa), ev.Tag)
 		h.cores[owner].l2.Remove(h.l2Index(pa), ev.Tag)
+		reg = h.region(domainOf(owner))
 	}
 	if h.rng.Float64() < h.cfg.ReuseInsertProb {
-		lev := h.llc[set.Slice].Insert(set.Index, ev.Tag, 0)
+		lev := h.llc[set.Slice].InsertRegion(reg, set.Index, ev.Tag, 0)
 		h.handleLLCEviction(lev)
 	}
 }
@@ -344,12 +448,18 @@ func (h *Host) accessState(coreID int, pa memory.PAddr) accessResult {
 	h.Accesses++
 	tag := cache.Tag(pa.Line())
 	c := &h.cores[coreID]
+	dom := domainOf(coreID)
+	if h.def != nil {
+		// One tick per demand access advances defense epoch state (e.g.
+		// the randomize model's rekey counter).
+		h.def.Tick()
+	}
 
 	// Apply pending background noise and scheduled (victim) accesses to
 	// this line's LLC/SF set before the lookups: a back-invalidation that
 	// "already happened" in virtual time must be visible even to an
 	// otherwise-L1-resident line.
-	set := h.SetOf(pa)
+	set := h.setFor(dom, pa)
 	h.syncNoise(set)
 	h.drainScheduled()
 
@@ -367,7 +477,7 @@ func (h *Host) accessState(coreID int, pa memory.PAddr) accessResult {
 			// freed, line installed in the LLC. The previous owner keeps
 			// its (now Shared) private copies.
 			h.sf[set.Slice].Remove(set.Index, tag)
-			lev := h.llc[set.Slice].Insert(set.Index, tag, 0)
+			lev := h.llc[set.Slice].InsertRegion(h.region(dom), set.Index, tag, 0)
 			h.handleLLCEviction(lev)
 			h.fillPrivate(coreID, pa)
 			return accessResult{level: SFForward}
@@ -393,14 +503,14 @@ func (h *Host) accessState(coreID int, pa memory.PAddr) accessResult {
 			h.cores[c].l1.Remove(l1i, tag)
 			h.cores[c].l2.Remove(l2i, tag)
 		}
-		ev := h.sf[set.Slice].Insert(set.Index, tag, uint8(coreID))
+		ev := h.sf[set.Slice].InsertRegion(h.region(dom), set.Index, tag, uint8(coreID))
 		h.handleSFEviction(set, ev)
 		h.fillPrivate(coreID, pa)
 		return accessResult{level: LLCHit}
 	}
 
 	// Full miss: DRAM fetch, allocate SF entry (Exclusive).
-	ev := h.sf[set.Slice].Insert(set.Index, tag, uint8(coreID))
+	ev := h.sf[set.Slice].InsertRegion(h.region(dom), set.Index, tag, uint8(coreID))
 	h.handleSFEviction(set, ev)
 	h.fillPrivate(coreID, pa)
 	return accessResult{level: DRAM}
@@ -423,31 +533,64 @@ func (h *Host) dropL1(coreID int, pa memory.PAddr) {
 	h.cores[coreID].l1.Remove(h.l1Index(pa), cache.Tag(pa.Line()))
 }
 
-// flushLine models clflush: the line is removed from every private cache,
-// from the LLC and from the SF.
-func (h *Host) flushLine(pa memory.PAddr) {
+// flushLine models clflush by coreID: the line is removed from every
+// private cache, from the LLC and from the SF. The shared-structure set
+// resolves under the flusher's domain mapping — the only mapping under
+// which the flusher's own lines are resident.
+func (h *Host) flushLine(coreID int, pa memory.PAddr) {
 	tag := cache.Tag(pa.Line())
 	l1i, l2i := h.l1Index(pa), h.l2Index(pa)
 	for c := range h.cores {
 		h.cores[c].l1.Remove(l1i, tag)
 		h.cores[c].l2.Remove(l2i, tag)
 	}
-	set := h.SetOf(pa)
+	set := h.setFor(domainOf(coreID), pa)
 	h.llc[set.Slice].Remove(set.Index, tag)
 	h.sf[set.Slice].Remove(set.Index, tag)
 }
 
 // --- Privileged inspection (validation & tests only) ----------------------
 
-// InSF reports whether the line is SF-tracked (privileged).
+// InSF reports whether the line is SF-tracked (privileged). Under an
+// index-transforming defense (randomize, scatter) a line lives
+// wherever the touching domain's mapping placed it, so the check
+// covers both container mappings; callers that know the accessing
+// domain use InSFDomain directly.
 func (h *Host) InSF(pa memory.PAddr) bool {
-	set := h.SetOf(pa)
+	if h.def == nil {
+		return h.sfContains(h.SetOf(pa), pa)
+	}
+	return h.InSFDomain(defense.DomainAttacker, pa) || h.InSFDomain(defense.DomainVictim, pa)
+}
+
+// InSFDomain reports whether the line is SF-tracked under domain d's
+// index mapping — the resolution that is correct on a host with an
+// index-transforming defense, for the domain that accessed the line.
+func (h *Host) InSFDomain(d defense.Domain, pa memory.PAddr) bool {
+	return h.sfContains(h.setFor(d, pa), pa)
+}
+
+func (h *Host) sfContains(set SetID, pa memory.PAddr) bool {
 	return h.sf[set.Slice].Contains(set.Index, cache.Tag(pa.Line()))
 }
 
-// InLLC reports whether the line is LLC-resident (privileged).
+// InLLC reports whether the line is LLC-resident (privileged). Like
+// InSF it covers both container mappings under an index-transforming
+// defense, so it stays truthful on every host.
 func (h *Host) InLLC(pa memory.PAddr) bool {
-	set := h.SetOf(pa)
+	if h.def == nil {
+		return h.llcContains(h.SetOf(pa), pa)
+	}
+	return h.InLLCDomain(defense.DomainAttacker, pa) || h.InLLCDomain(defense.DomainVictim, pa)
+}
+
+// InLLCDomain reports whether the line is LLC-resident under domain d's
+// index mapping (see InSFDomain).
+func (h *Host) InLLCDomain(d defense.Domain, pa memory.PAddr) bool {
+	return h.llcContains(h.setFor(d, pa), pa)
+}
+
+func (h *Host) llcContains(set SetID, pa memory.PAddr) bool {
 	return h.llc[set.Slice].Contains(set.Index, cache.Tag(pa.Line()))
 }
 

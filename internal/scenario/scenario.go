@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"repro/internal/clock"
+	"repro/internal/defense"
 	"repro/internal/experiments"
 	"repro/internal/hierarchy"
 	"repro/internal/stats"
@@ -91,7 +92,13 @@ var scenarios = map[string]Scenario{}
 // take a sweep's noise_rates raw (ConstructionNoise unset): the
 // equivalent-noise rescaling documented for construction cells does not
 // apply, and the construction step inside a scenario sees the declared
-// rate as-is. Register panics on duplicate ids (a programming error).
+// rate as-is. A cell runs on the sweep's grid config, with one
+// refinement: whatever DEFINES the scenario variant — a baked defense
+// or a baked tenant workload — carries over unless the grid explicitly
+// swept that axis, so a cell named scenario/covert/channel/quiesce
+// really measures a quiesced host even in a grid whose defenses axis is
+// the default "none" (and a defenses-axis value, when present, wins).
+// Register panics on duplicate ids (a programming error).
 func Register(sc Scenario) {
 	if _, dup := scenarios[sc.ID]; dup {
 		panic("scenario: duplicate scenario id " + sc.ID)
@@ -105,6 +112,13 @@ func Register(sc Scenario) {
 		Desc: "end-to-end scenario: " + sc.Desc,
 		Unit: "cycles",
 		Run: func(t *experiments.Trial, cfg hierarchy.Config) experiments.Sample {
+			own := sc.Config()
+			if cfg.Defense == nil && own.Defense != nil {
+				cfg = cfg.WithDefense(*own.Defense)
+			}
+			if len(cfg.Tenants) == 0 && len(own.Tenants) > 0 {
+				cfg = cfg.WithTenants(own.Tenants...)
+			}
 			o := sc.Run(t, cfg)
 			return experiments.Sample{OK: o.Success, Value: float64(o.TotalCycles)}
 		},
@@ -188,7 +202,11 @@ type Report struct {
 	// Tenants records a background-workload override (RunTenants), so
 	// the artifact self-describes the environment it measured; empty for
 	// the scenario's own default config.
-	Tenants   []tenant.Spec `json:"tenants,omitempty"`
+	Tenants []tenant.Spec `json:"tenants,omitempty"`
+	// Defense records an LLC-countermeasure override (RunWith / the
+	// cmd/llcattack -defense flag); nil for the scenario's own config
+	// (which may itself carry a defense in the defended variants).
+	Defense   *defense.Spec `json:"defense,omitempty"`
 	Outcomes  []Outcome     `json:"outcomes"`
 	Aggregate Aggregate     `json:"aggregate"`
 }
@@ -214,6 +232,16 @@ func Run(id string, trials, workers int, seed uint64) (*Report, error) {
 // validated (tenant.ParseList / Spec.Validate); an invalid spec fails
 // host construction.
 func RunTenants(id string, tenants []tenant.Spec, trials, workers int, seed uint64) (*Report, error) {
+	return RunWith(id, tenants, nil, trials, workers, seed)
+}
+
+// RunWith is Run with both environment overrides: tenant specs replace
+// the scenario's background workload and def replaces its LLC defense
+// (the cmd/llcattack -tenants / -defense flags). Nil values keep the
+// scenario's own environment; a defense override must survive
+// hierarchy.Config.Validate against the scenario's geometry, reported
+// as an error rather than a panic.
+func RunWith(id string, tenants []tenant.Spec, def *defense.Spec, trials, workers int, seed uint64) (*Report, error) {
 	sc, ok := Lookup(id)
 	if !ok {
 		return nil, fmt.Errorf("scenario: unknown scenario %q (known: %v)", id, IDs())
@@ -225,6 +253,12 @@ func RunTenants(id string, tenants []tenant.Spec, trials, workers int, seed uint
 	if len(tenants) > 0 {
 		cfg = cfg.WithTenants(tenants...)
 	}
+	if def != nil {
+		cfg = cfg.WithDefense(*def)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", sc.ID, err)
+	}
 	outs := RunOn(sc, cfg, trials, workers, seed)
 	return &Report{
 		Scenario:  sc.ID,
@@ -232,6 +266,7 @@ func RunTenants(id string, tenants []tenant.Spec, trials, workers int, seed uint
 		Trials:    trials,
 		Seed:      seed,
 		Tenants:   tenants,
+		Defense:   def,
 		Outcomes:  outs,
 		Aggregate: AggregateOutcomes(outs),
 	}, nil

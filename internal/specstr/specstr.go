@@ -1,0 +1,59 @@
+// Package specstr implements the compact "model:key=value,key=value"
+// spec-string syntax shared by the declarative model registries
+// (internal/tenant workload specs, internal/defense countermeasure
+// specs). It owns only the surface syntax — name/parameter splitting,
+// key=value scanning, float parsing and the error wording — while each
+// consumer keeps its own key vocabulary, range rules and defaults via
+// the Apply callback. The error strings are part of the consumers'
+// CLI contract (they are asserted byte-for-byte by tenant tests), so
+// they must not be reworded casually.
+package specstr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Cut splits one spec string into its model name and parameter list:
+// "burst:rate=34.5,on_frac=0.1" becomes ("burst", "rate=34.5,on_frac=0.1",
+// true) and a bare "burst" becomes ("burst", "", false). Surrounding
+// whitespace is trimmed from the whole string and from the name.
+func Cut(s string) (name, params string, hasParams bool) {
+	name, params, hasParams = strings.Cut(strings.TrimSpace(s), ":")
+	return strings.TrimSpace(name), params, hasParams
+}
+
+// Apply consumes one parsed parameter. It reports whether the key
+// belongs to the model at all (known) and, when it does, whether the
+// value violated the key's range (bad). Apply must store accepted
+// values itself; Params only drives the scan.
+type Apply func(key string, val float64) (known, bad bool)
+
+// Params scans a comma-separated "key=value" list, parsing each value
+// as a float64 and handing it to apply. pkg prefixes every error
+// ("tenant", "defense"), spec is the full original spec string quoted
+// in errors, and model is the name quoted for inapplicable keys. The
+// first malformed pair, unparsable value, unknown key or out-of-range
+// value stops the scan with an error.
+func Params(pkg, spec, model, params string, apply Apply) error {
+	for _, kv := range strings.Split(params, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		key = strings.TrimSpace(key)
+		if !ok || key == "" {
+			return fmt.Errorf("%s: malformed parameter %q in spec %q (want key=value)", pkg, kv, spec)
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return fmt.Errorf("%s: bad value in %q of spec %q", pkg, kv, spec)
+		}
+		known, bad := apply(key, f)
+		if !known {
+			return fmt.Errorf("%s: parameter %q does not apply to model %q", pkg, key, model)
+		}
+		if bad {
+			return fmt.Errorf("%s: %s out of range in spec %q", pkg, key, spec)
+		}
+	}
+	return nil
+}

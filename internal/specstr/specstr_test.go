@@ -1,0 +1,49 @@
+package specstr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCut(t *testing.T) {
+	for _, tc := range []struct {
+		in, name, params string
+		has              bool
+	}{
+		{"burst", "burst", "", false},
+		{" burst ", "burst", "", false},
+		{"burst:rate=1,on_frac=0.2", "burst", "rate=1,on_frac=0.2", true},
+		{"x:", "x", "", true},
+	} {
+		name, params, has := Cut(tc.in)
+		if name != tc.name || params != tc.params || has != tc.has {
+			t.Errorf("Cut(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				tc.in, name, params, has, tc.name, tc.params, tc.has)
+		}
+	}
+}
+
+func TestParams(t *testing.T) {
+	got := map[string]float64{}
+	err := Params("pkg", "m:a=1,b=2.5", "m", "a=1,b=2.5", func(key string, v float64) (bool, bool) {
+		got[key] = v
+		return true, false
+	})
+	if err != nil || got["a"] != 1 || got["b"] != 2.5 {
+		t.Fatalf("Params = %v, got %v", err, got)
+	}
+	// The four error classes, with the exact wording consumers pin.
+	for params, wantSub := range map[string]string{
+		"a":     `pkg: malformed parameter "a" in spec "S" (want key=value)`,
+		"a=x":   `pkg: bad value in "a=x" of spec "S"`,
+		"z=1":   `pkg: parameter "z" does not apply to model "m"`,
+		"bad=1": `pkg: bad out of range in spec "S"`,
+	} {
+		err := Params("pkg", "S", "m", params, func(key string, v float64) (bool, bool) {
+			return key != "z", key == "bad"
+		})
+		if err == nil || !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("Params(%q) = %v, want %q", params, err, wantSub)
+		}
+	}
+}

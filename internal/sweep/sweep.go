@@ -1,7 +1,7 @@
 // Package sweep expands a declarative configuration grid — replacement
 // policy x SF associativity x slice count x noise level x tenant
-// workload model x cell experiment — into hierarchy configs and runs
-// every cell through the
+// workload model x LLC defense x cell experiment — into hierarchy
+// configs and runs every cell through the
 // parallel trial engine in internal/experiments, aggregating the
 // per-cell samples into one deterministic artifact (JSON or CSV) with
 // deltas against the grid's baseline cell.
@@ -34,6 +34,7 @@ import (
 	"strconv"
 
 	"repro/internal/cache"
+	"repro/internal/defense"
 	"repro/internal/experiments"
 	"repro/internal/hierarchy"
 	"repro/internal/stats"
@@ -66,6 +67,13 @@ type Spec struct {
 	// noise process — and is the default, so existing specs and
 	// artifacts are unchanged.
 	TenantModels []string `json:"tenant_models,omitempty"`
+	// Defenses sweeps LLC countermeasures: compact defense.Parse spec
+	// strings ("partition:ways=4", "randomize:period=100000",
+	// "scatter", "quiesce:quantum=256,jitter=0") plus "none" for the
+	// undefended host. "none" is the default, so existing specs and
+	// artifacts keep their exact numbers — undefended cells carry the
+	// same seed labels as before the axis existed.
+	Defenses []string `json:"defenses,omitempty"`
 	// Trials is the number of trials per cell.
 	Trials int `json:"trials"`
 	// Seed roots all randomness; a fixed seed fixes the artifact
@@ -99,6 +107,9 @@ func (s *Spec) Normalize() {
 	}
 	if len(s.TenantModels) == 0 {
 		s.TenantModels = []string{"poisson"}
+	}
+	if len(s.Defenses) == 0 {
+		s.Defenses = []string{"none"}
 	}
 	if s.Trials == 0 {
 		s.Trials = 10
@@ -142,6 +153,24 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("sweep: %w", err)
 		}
 	}
+	for _, d := range s.Defenses {
+		sp, err := defense.ParseOpt(d)
+		if err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+		if sp == nil {
+			continue
+		}
+		// Cross-check the defense against every swept geometry now (the
+		// single validation path), so a partition too wide for the
+		// smallest SF associativity fails here, not mid-grid.
+		for _, a := range s.SFAssocs {
+			cfg := base.WithSFAssociativity(a).WithDefense(*sp)
+			if err := cfg.Validate(); err != nil {
+				return fmt.Errorf("sweep: defense %q at sf_assoc %d: %w", d, a, err)
+			}
+		}
+	}
 	return nil
 }
 
@@ -157,6 +186,9 @@ type CellResult struct {
 	// TenantModel is the background-workload shape at the cell's noise
 	// rate ("poisson" is the flat legacy process).
 	TenantModel string `json:"tenant_model"`
+	// Defense is the cell's LLC countermeasure in canonical compact
+	// form ("none" is the undefended host).
+	Defense string `json:"defense"`
 
 	Unit        string  `json:"unit"`
 	Trials      int     `json:"trials"`
@@ -164,6 +196,9 @@ type CellResult struct {
 	Mean        float64 `json:"mean"`
 	Stddev      float64 `json:"stddev"`
 	Median      float64 `json:"median"`
+	// P95 is the 95th percentile of Sample.Value over successful trials
+	// — the tail-cost column attack-vs-defense artifacts report.
+	P95 float64 `json:"p95"`
 
 	// Baseline marks the cell every other cell of the same experiment is
 	// compared against: the one at the first value of every axis.
@@ -190,6 +225,7 @@ type cell struct {
 	slices      int
 	noiseRate   float64
 	tenantModel string
+	defenseName string
 	cfg         hierarchy.Config
 	seed        uint64
 }
@@ -200,6 +236,28 @@ type cell struct {
 // validation path — so failed lookups here are programming errors.
 func expand(s Spec) []cell {
 	var out []cell
+	// Resolve the defense axis once, outside the nested loops: each
+	// value becomes a (canonical name, spec) pair, with "none" as the
+	// undefended nil. Validate already parsed every entry, so a failure
+	// here is a programming error, not a typo to swallow.
+	type defAxis struct {
+		name string
+		spec *defense.Spec
+	}
+	defs := make([]defAxis, len(s.Defenses))
+	for i, d := range s.Defenses {
+		sp, err := defense.ParseOpt(d)
+		if err != nil {
+			panic("sweep: expand called with unvalidated defense " + d)
+		}
+		defs[i] = defAxis{name: "none", spec: sp}
+		if sp != nil {
+			// The canonical String form names the cell, so sparse and
+			// explicit spellings of the same defense land on the same
+			// seeds and the same artifact rows.
+			defs[i].name = sp.String()
+		}
+	}
 	for _, id := range s.Experiments {
 		ce, ok := experiments.LookupCell(id)
 		if !ok {
@@ -214,49 +272,58 @@ func expand(s Spec) []cell {
 				for _, slices := range s.Slices {
 					for _, rate := range s.NoiseRates {
 						for _, model := range s.TenantModels {
-							cfg := hierarchy.Scaled(slices).
-								WithSFAssociativity(assoc).
-								WithSharedPolicy(kind)
-							// Noise rates are declared in the paper's unit. For
-							// construction-protocol cells the scaled host must run a
-							// proportionally higher rate for the declared rate to be
-							// equivalent (otherwise Cloud Run-level noise is invisible
-							// to the shorter test windows — see ConstructionNoiseScale);
-							// monitoring cells keep the raw rate. The scaling applies
-							// to every tenant model alike: it rescales the mean, the
-							// model shapes how that mean is distributed.
-							effRate := rate
-							if ce.ConstructionNoise {
-								effRate *= experiments.ConstructionNoiseScale(cfg, false)
+							for _, def := range defs {
+								cfg := hierarchy.Scaled(slices).
+									WithSFAssociativity(assoc).
+									WithSharedPolicy(kind)
+								// Noise rates are declared in the paper's unit. For
+								// construction-protocol cells the scaled host must run a
+								// proportionally higher rate for the declared rate to be
+								// equivalent (otherwise Cloud Run-level noise is invisible
+								// to the shorter test windows — see ConstructionNoiseScale);
+								// monitoring cells keep the raw rate. The scaling applies
+								// to every tenant model alike: it rescales the mean, the
+								// model shapes how that mean is distributed.
+								effRate := rate
+								if ce.ConstructionNoise {
+									effRate *= experiments.ConstructionNoiseScale(cfg, false)
+								}
+								if model == "poisson" {
+									// The flat legacy knob, byte-identical to the
+									// pre-tenant sweep path.
+									cfg = cfg.WithNoiseRate(effRate)
+									cfg.Name = fmt.Sprintf("sweep/%s/w%d/s%d", kind, assoc, slices)
+								} else {
+									cfg = cfg.WithTenants(tenant.Spec{Model: model, Rate: effRate, LLCProb: cfg.NoiseLLCProb})
+									cfg.Name = fmt.Sprintf("sweep/%s/w%d/s%d/%s", kind, assoc, slices, model)
+								}
+								// Seed labels: the tenant and defense coordinates join
+								// only for non-default cells, so every pre-axis artifact
+								// keeps its exact numbers (a poisson/undefended cell's
+								// coordinates are the same labels as before the axes
+								// existed).
+								labels := []any{ce.ID, kind.String(), assoc, slices, rate}
+								if model != "poisson" {
+									labels = append(labels, "tenant:"+model)
+								}
+								if def.spec != nil {
+									cfg = cfg.WithDefense(*def.spec)
+									cfg.Name += "/" + def.name
+									labels = append(labels, "defense:"+def.name)
+								}
+								out = append(out, cell{
+									exp:         ce,
+									policy:      kind,
+									polName:     kind.String(),
+									sfAssoc:     assoc,
+									slices:      slices,
+									noiseRate:   rate,
+									tenantModel: model,
+									defenseName: def.name,
+									cfg:         cfg,
+									seed:        cellSeed(s.Seed, labels...),
+								})
 							}
-							if model == "poisson" {
-								// The flat legacy knob, byte-identical to the
-								// pre-tenant sweep path.
-								cfg = cfg.WithNoiseRate(effRate)
-								cfg.Name = fmt.Sprintf("sweep/%s/w%d/s%d", kind, assoc, slices)
-							} else {
-								cfg = cfg.WithTenants(tenant.Spec{Model: model, Rate: effRate, LLCProb: cfg.NoiseLLCProb})
-								cfg.Name = fmt.Sprintf("sweep/%s/w%d/s%d/%s", kind, assoc, slices, model)
-							}
-							// Seed labels: the tenant coordinate joins only for
-							// non-poisson cells, so every pre-axis artifact keeps its
-							// exact numbers (a poisson cell's coordinates are the
-							// same labels as before the axis existed).
-							labels := []any{ce.ID, kind.String(), assoc, slices, rate}
-							if model != "poisson" {
-								labels = append(labels, "tenant:"+model)
-							}
-							out = append(out, cell{
-								exp:         ce,
-								policy:      kind,
-								polName:     kind.String(),
-								sfAssoc:     assoc,
-								slices:      slices,
-								noiseRate:   rate,
-								tenantModel: model,
-								cfg:         cfg,
-								seed:        cellSeed(s.Seed, labels...),
-							})
 						}
 					}
 				}
@@ -302,8 +369,8 @@ func Run(spec Spec, workers int) (*Result, error) {
 		if tp, ok := err.(interface{ TrialIndex() int }); ok {
 			if ci := tp.TrialIndex() / n; ci >= 0 && ci < len(cls) {
 				c := cls[ci]
-				return nil, fmt.Errorf("sweep: cell %s policy=%s sf_assoc=%d slices=%d noise=%g tenant=%s: %w",
-					c.exp.ID, c.polName, c.sfAssoc, c.slices, c.noiseRate, c.tenantModel, err)
+				return nil, fmt.Errorf("sweep: cell %s policy=%s sf_assoc=%d slices=%d noise=%g tenant=%s defense=%s: %w",
+					c.exp.ID, c.polName, c.sfAssoc, c.slices, c.noiseRate, c.tenantModel, c.defenseName, err)
 			}
 		}
 		return nil, err
@@ -328,12 +395,14 @@ func Run(spec Spec, workers int) (*Result, error) {
 			Slices:      c.slices,
 			NoiseRate:   c.noiseRate,
 			TenantModel: c.tenantModel,
+			Defense:     c.defenseName,
 			Unit:        c.exp.Unit,
 			Trials:      n,
 			SuccessRate: float64(succ) / float64(n),
 			Mean:        sum.Mean,
 			Stddev:      sum.Stddev,
 			Median:      sum.Median,
+			P95:         stats.Percentile(ok, 95),
 		}
 		if base, have := baseline[c.exp.ID]; !have {
 			// Cells expand with the first value of every axis first, so the
@@ -363,8 +432,8 @@ func (r *Result) WriteJSON(w io.Writer) error {
 
 // csvHeader is the CSV artifact's column set.
 var csvHeader = []string{
-	"experiment", "policy", "sf_assoc", "slices", "noise_rate", "tenant_model",
-	"unit", "trials", "success_rate", "mean", "stddev", "median",
+	"experiment", "policy", "sf_assoc", "slices", "noise_rate", "tenant_model", "defense",
+	"unit", "trials", "success_rate", "mean", "stddev", "median", "p95",
 	"baseline", "delta_success", "delta_mean",
 }
 
@@ -384,8 +453,8 @@ func (r *Result) WriteCSV(w io.Writer) error {
 	}
 	for _, c := range r.Cells {
 		row := []string{
-			c.Experiment, c.Policy, strconv.Itoa(c.SFAssoc), strconv.Itoa(c.Slices), f(c.NoiseRate), c.TenantModel,
-			c.Unit, strconv.Itoa(c.Trials), f(c.SuccessRate), f(c.Mean), f(c.Stddev), f(c.Median),
+			c.Experiment, c.Policy, strconv.Itoa(c.SFAssoc), strconv.Itoa(c.Slices), f(c.NoiseRate), c.TenantModel, c.Defense,
+			c.Unit, strconv.Itoa(c.Trials), f(c.SuccessRate), f(c.Mean), f(c.Stddev), f(c.Median), f(c.P95),
 			strconv.FormatBool(c.Baseline), opt(c.DeltaSuccess), opt(c.DeltaMean),
 		}
 		if err := cw.Write(row); err != nil {

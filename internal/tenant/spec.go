@@ -6,6 +6,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"repro/internal/specstr"
 )
 
 // Spec declares one background tenant: a model family plus its
@@ -211,32 +213,22 @@ func (s Spec) inapplicable() string {
 // Omitted keys default: rate to the measured Cloud Run rate (11.5),
 // llc_prob to DefaultLLCProb, model parameters per WithDefaults. Keys
 // that do not belong to the model are rejected, so a typo cannot
-// silently configure nothing.
+// silently configure nothing. The surface syntax (and error wording)
+// is the shared internal/specstr grammar.
 func Parse(s string) (Spec, error) {
-	name, rest, hasParams := strings.Cut(strings.TrimSpace(s), ":")
-	name = strings.TrimSpace(name)
+	name, rest, hasParams := specstr.Cut(s)
 	spec := Spec{Model: name, Rate: 11.5, LLCProb: DefaultLLCProb}
 	if _, ok := registry[name]; !ok {
 		return Spec{}, fmt.Errorf("tenant: unknown model %q in spec %q (known: %v)", name, s, Models())
 	}
 	if hasParams {
-		for _, kv := range strings.Split(rest, ",") {
-			key, val, ok := strings.Cut(kv, "=")
-			key = strings.TrimSpace(key)
-			if !ok || key == "" {
-				return Spec{}, fmt.Errorf("tenant: malformed parameter %q in spec %q (want key=value)", kv, s)
-			}
-			f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
-			if err != nil {
-				return Spec{}, fmt.Errorf("tenant: bad value in %q of spec %q", kv, s)
-			}
+		// Range-check explicit values at parse time: a zero in the struct
+		// means "default", so an explicit bad zero (hot_frac=0, width=0.5)
+		// would otherwise be silently replaced instead of rejected.
+		err := specstr.Params("tenant", s, name, rest, func(key string, f float64) (known, bad bool) {
 			if key != "rate" && key != "llc_prob" && !specKeys[name][key] {
-				return Spec{}, fmt.Errorf("tenant: parameter %q does not apply to model %q", key, name)
+				return false, false
 			}
-			// Range-check explicit values here: a zero in the struct means
-			// "default", so an explicit bad zero (hot_frac=0, width=0.5)
-			// would otherwise be silently replaced instead of rejected.
-			bad := false
 			switch key {
 			case "rate":
 				spec.Rate, bad = f, f < 0
@@ -257,9 +249,10 @@ func Parse(s string) (Spec, error) {
 			case "footprint_frac":
 				spec.FootprintFrac, bad = f, f <= 0 || f > 1
 			}
-			if bad {
-				return Spec{}, fmt.Errorf("tenant: %s out of range in spec %q", key, s)
-			}
+			return true, bad
+		})
+		if err != nil {
+			return Spec{}, err
 		}
 	}
 	if err := spec.Validate(); err != nil {

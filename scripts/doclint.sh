@@ -6,8 +6,9 @@
 #   2. go vet reports anything;
 #   3. any internal/ package lacks a real package comment
 #      ("// Package <name> ..." above the package clause);
-#   4. any exported top-level symbol in internal/tenant (func, method,
-#      type, var, const) has no doc comment.
+#   4. any exported top-level symbol in internal/tenant or
+#      internal/defense (func, method, type, var, const) has no doc
+#      comment.
 #
 # Exit codes: 0 = clean, 1 = lint findings, 2 = harness error.
 set -u
@@ -33,9 +34,10 @@ for d in internal/*/; do
     fi
 done
 
-# Exported-symbol doc audit for internal/tenant: every top-level
-# exported declaration must be immediately preceded by a comment line.
-for f in internal/tenant/*.go; do
+# Exported-symbol doc audit for the declarative model registries:
+# every top-level exported declaration must be immediately preceded by
+# a comment line.
+for f in internal/tenant/*.go internal/defense/*.go internal/specstr/*.go; do
     case "$f" in *_test.go) continue ;; esac
     awk -v file="$f" '
         # Top-level exported funcs/types/vars/consts, and exported
