@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/defense"
+	"repro/internal/profiling"
 	"repro/internal/scenario"
 	"repro/internal/tenant"
 )
@@ -48,6 +49,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		def      = fs.String("defense", "", "LLC-defense override: one spec (\"partition:ways=4\") or \"none\" (see -list)")
 		outFile  = fs.String("o", "", "write the report to a file instead of stdout")
 		list     = fs.Bool("list", false, "list scenario ids, tenant models and defense models")
+		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the scenario run to this file")
+		memProf  = fs.String("memprofile", "", "write a post-run pprof heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -122,8 +125,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Profiles bracket only the scenario run — flag parsing and report
+	// writing stay outside — and go to their own files, so profiling
+	// cannot perturb the byte-identical report.
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return fail(err)
+	}
 	start := time.Now()
 	rep, err := scenario.RunWith(*id, specs, defSpec, *trials, *parallel, *seed)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		return fail(err)
 	}

@@ -42,6 +42,7 @@ import (
 
 	"repro/internal/defense"
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/sweep"
 	"repro/internal/tenant"
 
@@ -72,6 +73,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		asCSV    = fs.Bool("csv", false, "emit CSV instead of JSON")
 		outFile  = fs.String("o", "", "write the artifact to a file instead of stdout")
 		list     = fs.Bool("list", false, "list cell experiment ids")
+		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep run to this file")
+		memProf  = fs.String("memprofile", "", "write a post-run pprof heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -206,8 +209,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Profiles bracket only the sweep run — spec plumbing and artifact
+	// writing stay outside — and go to their own files, so profiling
+	// cannot perturb the byte-identical artifact.
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return fail(err)
+	}
 	start := time.Now()
 	res, err := sweep.Run(spec, *parallel)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		return fail(err)
 	}

@@ -11,29 +11,27 @@ import (
 // hierarchy, but validity is tracked explicitly anyway.
 type Tag uint64
 
-// Set is one associative set: ways tagged lines plus replacement state and
-// an optional per-way payload (used by the hierarchy for coherence state).
-// In a way-partitioned cache (Config.PartitionAt > 0) the replacement
-// state is split per region: pol governs ways [0, split) and pol2 ways
-// [split, ways), each an independent policy instance of its region's
-// size; unpartitioned sets keep pol over the whole set and a nil pol2.
-type Set struct {
-	tags    []Tag
-	valid   []bool
-	payload []uint8
-	pol     policyState
-	pol2    policyState
-}
-
 // Cache is a single-array set-associative cache (one slice of a sliced
-// structure, or a whole private cache). split is the way-partition
-// boundary (0 = unpartitioned).
+// structure, or a whole private cache). All per-line state is stored in
+// flat structure-of-arrays slices indexed set*ways+way — sized once at
+// construction, reset by bulk clears, no per-set allocations or pointer
+// chasing on the access path. split is the way-partition boundary
+// (0 = unpartitioned); a partitioned cache keeps two independent
+// regionPolicy instances, one per region, exactly as the reference model
+// keeps two policyState objects per set.
 type Cache struct {
 	name  string
-	sets  []Set
 	ways  int
 	nsets int
 	split int
+
+	tags    []Tag   // set*ways + way
+	valid   []bool  // set*ways + way
+	payload []uint8 // set*ways + way
+
+	r0  regionPolicy // ways [0, split) — or the whole set when split == 0
+	r1  regionPolicy // ways [split, ways); unused when split == 0
+	rng *xrand.Rand  // randomized-policy source, shared across sets
 }
 
 // Config describes a cache array's geometry.
@@ -59,21 +57,16 @@ func New(cfg Config, rng *xrand.Rand) *Cache {
 	if cfg.PartitionAt < 0 || cfg.PartitionAt >= cfg.Ways {
 		panic(fmt.Sprintf("cache %q: partition at %d outside (0, %d)", cfg.Name, cfg.PartitionAt, cfg.Ways))
 	}
-	c := &Cache{name: cfg.Name, ways: cfg.Ways, nsets: cfg.Sets, split: cfg.PartitionAt}
-	c.sets = make([]Set, cfg.Sets)
-	for i := range c.sets {
-		s := Set{
-			tags:    make([]Tag, cfg.Ways),
-			valid:   make([]bool, cfg.Ways),
-			payload: make([]uint8, cfg.Ways),
-		}
-		if c.split > 0 {
-			s.pol = newPolicyState(cfg.Policy, c.split, rng)
-			s.pol2 = newPolicyState(cfg.Policy, cfg.Ways-c.split, rng)
-		} else {
-			s.pol = newPolicyState(cfg.Policy, cfg.Ways, rng)
-		}
-		c.sets[i] = s
+	c := &Cache{name: cfg.Name, ways: cfg.Ways, nsets: cfg.Sets, split: cfg.PartitionAt, rng: rng}
+	n := cfg.Sets * cfg.Ways
+	c.tags = make([]Tag, n)
+	c.valid = make([]bool, n)
+	c.payload = make([]uint8, n)
+	if c.split > 0 {
+		c.r0 = newRegionPolicy(cfg.Policy, c.split, cfg.Sets)
+		c.r1 = newRegionPolicy(cfg.Policy, cfg.Ways-c.split, cfg.Sets)
+	} else {
+		c.r0 = newRegionPolicy(cfg.Policy, cfg.Ways, cfg.Sets)
 	}
 	return c
 }
@@ -81,23 +74,24 @@ func New(cfg Config, rng *xrand.Rand) *Cache {
 // Split returns the way-partition boundary (0 = unpartitioned).
 func (c *Cache) Split() int { return c.split }
 
-// touch records a hit on way w against the owning region's policy.
-func (s *Set) touch(split, w int) {
-	if split > 0 && w >= split {
-		s.pol2.touch(w - split)
+// touch records a hit on way w of set idx against the owning region's
+// policy.
+func (c *Cache) touch(idx, w int) {
+	if c.split > 0 && w >= c.split {
+		c.r1.touch(idx, w-c.split)
 		return
 	}
-	s.pol.touch(w)
+	c.r0.touch(idx, w)
 }
 
-// fill records an insertion into way w against the owning region's
-// policy.
-func (s *Set) fill(split, w int) {
-	if split > 0 && w >= split {
-		s.pol2.insert(w - split)
+// fill records an insertion into way w of set idx against the owning
+// region's policy.
+func (c *Cache) fill(idx, w int) {
+	if c.split > 0 && w >= c.split {
+		c.r1.insert(idx, w-c.split)
 		return
 	}
-	s.pol.insert(w)
+	c.r0.insert(idx, w)
 }
 
 // regionBounds returns the way range [lo, hi) a region may allocate in.
@@ -120,11 +114,11 @@ func (c *Cache) regionBounds(region int) (lo, hi int) {
 
 // regionVictim selects the eviction victim within the region's ways per
 // the region's own policy instance.
-func (c *Cache) regionVictim(s *Set, lo int) int {
+func (c *Cache) regionVictim(idx, lo int) int {
 	if c.split > 0 && lo == c.split {
-		return c.split + s.pol2.victim()
+		return c.split + c.r1.victim(idx, c.rng)
 	}
-	return lo + s.pol.victim()
+	return lo + c.r0.victim(idx, c.rng)
 }
 
 // Name returns the configured name ("L2", "LLC[3]", ...).
@@ -136,22 +130,25 @@ func (c *Cache) Sets() int { return c.nsets }
 // Ways returns the associativity.
 func (c *Cache) Ways() int { return c.ways }
 
-// set returns the set at index i, panicking on out-of-range indices.
-func (c *Cache) set(i int) *Set {
+// base returns the flat-array offset of set i, panicking on
+// out-of-range indices.
+func (c *Cache) base(i int) int {
 	if i < 0 || i >= c.nsets {
 		panic(fmt.Sprintf("cache %q: set index %d out of range [0,%d)", c.name, i, c.nsets))
 	}
-	return &c.sets[i]
+	return i * c.ways
 }
 
 // Lookup probes set idx for tag. On a hit it updates replacement state and
 // returns the way's payload.
 func (c *Cache) Lookup(idx int, tag Tag) (payload uint8, hit bool) {
-	s := c.set(idx)
-	for w, v := range s.valid {
-		if v && s.tags[w] == tag {
-			s.touch(c.split, w)
-			return s.payload[w], true
+	b := c.base(idx)
+	tags := c.tags[b : b+c.ways]
+	valid := c.valid[b : b+c.ways]
+	for w, v := range valid {
+		if v && tags[w] == tag {
+			c.touch(idx, w)
+			return c.payload[b+w], true
 		}
 	}
 	return 0, false
@@ -161,9 +158,11 @@ func (c *Cache) Lookup(idx int, tag Tag) (payload uint8, hit bool) {
 // state. It is for validation/instrumentation only — attack code must not
 // call it.
 func (c *Cache) Contains(idx int, tag Tag) bool {
-	s := c.set(idx)
-	for w, v := range s.valid {
-		if v && s.tags[w] == tag {
+	b := c.base(idx)
+	tags := c.tags[b : b+c.ways]
+	valid := c.valid[b : b+c.ways]
+	for w, v := range valid {
+		if v && tags[w] == tag {
 			return true
 		}
 	}
@@ -194,42 +193,44 @@ func (c *Cache) Insert(idx int, tag Tag, payload uint8) Evicted {
 // (including -1, "unregioned") is ignored and behaviour is identical to
 // the historical Insert.
 func (c *Cache) InsertRegion(region, idx int, tag Tag, payload uint8) Evicted {
-	s := c.set(idx)
+	b := c.base(idx)
+	tags := c.tags[b : b+c.ways]
+	valid := c.valid[b : b+c.ways]
 	lo, hi := c.regionBounds(region)
 	// Already present: update in place.
-	for w, v := range s.valid {
-		if v && s.tags[w] == tag {
-			s.payload[w] = payload
-			s.touch(c.split, w)
+	for w, v := range valid {
+		if v && tags[w] == tag {
+			c.payload[b+w] = payload
+			c.touch(idx, w)
 			return Evicted{}
 		}
 	}
 	// Free way available within the region.
 	for w := lo; w < hi; w++ {
-		if !s.valid[w] {
-			s.tags[w] = tag
-			s.valid[w] = true
-			s.payload[w] = payload
-			s.fill(c.split, w)
+		if !valid[w] {
+			tags[w] = tag
+			valid[w] = true
+			c.payload[b+w] = payload
+			c.fill(idx, w)
 			return Evicted{}
 		}
 	}
 	// Evict per the region's policy.
-	w := c.regionVictim(s, lo)
-	out := Evicted{Tag: s.tags[w], Payload: s.payload[w], Valid: true}
-	s.tags[w] = tag
-	s.payload[w] = payload
-	s.fill(c.split, w)
+	w := c.regionVictim(idx, lo)
+	out := Evicted{Tag: tags[w], Payload: c.payload[b+w], Valid: true}
+	tags[w] = tag
+	c.payload[b+w] = payload
+	c.fill(idx, w)
 	return out
 }
 
 // UpdatePayload changes the payload of a resident line without touching
 // replacement state. It reports whether the line was found.
 func (c *Cache) UpdatePayload(idx int, tag Tag, payload uint8) bool {
-	s := c.set(idx)
-	for w, v := range s.valid {
-		if v && s.tags[w] == tag {
-			s.payload[w] = payload
+	b := c.base(idx)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[b+w] && c.tags[b+w] == tag {
+			c.payload[b+w] = payload
 			return true
 		}
 	}
@@ -238,11 +239,11 @@ func (c *Cache) UpdatePayload(idx int, tag Tag, payload uint8) bool {
 
 // Remove invalidates tag in set idx, reporting whether it was present.
 func (c *Cache) Remove(idx int, tag Tag) (payload uint8, removed bool) {
-	s := c.set(idx)
-	for w, v := range s.valid {
-		if v && s.tags[w] == tag {
-			s.valid[w] = false
-			return s.payload[w], true
+	b := c.base(idx)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[b+w] && c.tags[b+w] == tag {
+			c.valid[b+w] = false
+			return c.payload[b+w], true
 		}
 	}
 	return 0, false
@@ -250,9 +251,9 @@ func (c *Cache) Remove(idx int, tag Tag) (payload uint8, removed bool) {
 
 // OccupiedWays returns how many ways of set idx hold valid lines.
 func (c *Cache) OccupiedWays(idx int) int {
-	s := c.set(idx)
+	b := c.base(idx)
 	n := 0
-	for _, v := range s.valid {
+	for _, v := range c.valid[b : b+c.ways] {
 		if v {
 			n++
 		}
@@ -262,11 +263,11 @@ func (c *Cache) OccupiedWays(idx int) int {
 
 // TagsIn returns the valid tags in set idx (instrumentation only).
 func (c *Cache) TagsIn(idx int) []Tag {
-	s := c.set(idx)
+	b := c.base(idx)
 	var out []Tag
-	for w, v := range s.valid {
-		if v {
-			out = append(out, s.tags[w])
+	for w := 0; w < c.ways; w++ {
+		if c.valid[b+w] {
+			out = append(out, c.tags[b+w])
 		}
 	}
 	return out
@@ -274,38 +275,38 @@ func (c *Cache) TagsIn(idx int) []Tag {
 
 // FlushSet invalidates every line in set idx and resets replacement state.
 func (c *Cache) FlushSet(idx int) {
-	s := c.set(idx)
-	for w := range s.valid {
-		s.valid[w] = false
+	b := c.base(idx)
+	for w := range c.valid[b : b+c.ways] {
+		c.valid[b+w] = false
 	}
-	s.pol.reset()
-	if s.pol2 != nil {
-		s.pol2.reset()
+	c.r0.resetSet(idx)
+	if c.split > 0 {
+		c.r1.resetSet(idx)
 	}
 }
 
 // FlushAll invalidates the whole cache.
 func (c *Cache) FlushAll() {
-	for i := range c.sets {
-		c.FlushSet(i)
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.r0.resetAll()
+	if c.split > 0 {
+		c.r1.resetAll()
 	}
 }
 
 // Reset restores the cache to the state New would produce with rng: every
-// line invalidated, replacement metadata cleared, and randomized policies
-// re-pointed at rng so the victim stream replays identically. It reuses
-// the existing arrays, so pooled hosts reset without allocating.
+// line invalidated, replacement metadata cleared in bulk, and randomized
+// policies re-pointed at rng so the victim stream replays identically. It
+// reuses the existing arrays, so pooled hosts reset without allocating.
 func (c *Cache) Reset(rng *xrand.Rand) {
-	for i := range c.sets {
-		s := &c.sets[i]
-		for w := range s.valid {
-			s.valid[w] = false
-		}
-		s.pol.reset()
-		s.pol.reseed(rng)
-		if s.pol2 != nil {
-			s.pol2.reset()
-			s.pol2.reseed(rng)
-		}
+	for i := range c.valid {
+		c.valid[i] = false
 	}
+	c.r0.resetAll()
+	if c.split > 0 {
+		c.r1.resetAll()
+	}
+	c.rng = rng
 }

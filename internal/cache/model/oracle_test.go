@@ -1,0 +1,228 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/xrand"
+)
+
+// pair is one optimized cache plus its reference model, built from the
+// same config and identically seeded rngs so randomized victim draws
+// stay in lockstep.
+type pair struct {
+	fast *cache.Cache
+	ref  *Cache
+}
+
+func newPair(cfg cache.Config, seed uint64) pair {
+	return pair{
+		fast: cache.New(cfg, xrand.New(seed)),
+		ref:  New(cfg, xrand.New(seed)),
+	}
+}
+
+// step applies one scripted operation to both implementations and fails
+// the test on any observable divergence. The opcode space deliberately
+// covers every public mutation plus the read-only probes, so a fuzzed
+// script exercises arbitrary interleavings.
+func (p pair) step(t *testing.T, cfg cache.Config, op, a, b byte) {
+	t.Helper()
+	set := int(a) % cfg.Sets
+	tag := cache.Tag(b%31) + 1 // small tag space forces collisions
+	region := -1
+	if cfg.PartitionAt > 0 {
+		region = int(op>>4) & 1
+	}
+	switch op % 7 {
+	case 0, 1: // weighted toward the hot ops
+		fp, fh := p.fast.Lookup(set, tag)
+		rp, rh := p.ref.Lookup(set, tag)
+		if fp != rp || fh != rh {
+			t.Fatalf("Lookup(%d, %d) = (%d,%v) fast vs (%d,%v) model", set, tag, fp, fh, rp, rh)
+		}
+	case 2, 3:
+		fe := p.fast.InsertRegion(region, set, tag, b)
+		re := p.ref.InsertRegion(region, set, tag, b)
+		if fe != re {
+			t.Fatalf("InsertRegion(%d, %d, %d) evicted %+v fast vs %+v model", region, set, tag, fe, re)
+		}
+	case 4:
+		fp, fr := p.fast.Remove(set, tag)
+		rp, rr := p.ref.Remove(set, tag)
+		if fp != rp || fr != rr {
+			t.Fatalf("Remove(%d, %d) = (%d,%v) fast vs (%d,%v) model", set, tag, fp, fr, rp, rr)
+		}
+	case 5:
+		fu := p.fast.UpdatePayload(set, tag, b)
+		ru := p.ref.UpdatePayload(set, tag, b)
+		if fu != ru {
+			t.Fatalf("UpdatePayload(%d, %d) = %v fast vs %v model", set, tag, fu, ru)
+		}
+	case 6:
+		p.fast.FlushSet(set)
+		p.ref.FlushSet(set)
+	}
+	// After every op the observable state must agree.
+	if fc, rc := p.fast.Contains(set, tag), p.ref.Contains(set, tag); fc != rc {
+		t.Fatalf("Contains(%d, %d) = %v fast vs %v model", set, tag, fc, rc)
+	}
+	if fo, ro := p.fast.OccupiedWays(set), p.ref.OccupiedWays(set); fo != ro {
+		t.Fatalf("OccupiedWays(%d) = %d fast vs %d model", set, fo, ro)
+	}
+	ft, rt := p.fast.TagsIn(set), p.ref.TagsIn(set)
+	if len(ft) != len(rt) {
+		t.Fatalf("TagsIn(%d) length %d fast vs %d model", set, len(ft), len(rt))
+	}
+	for i := range ft {
+		if ft[i] != rt[i] {
+			t.Fatalf("TagsIn(%d)[%d] = %d fast vs %d model", set, i, ft[i], rt[i])
+		}
+	}
+}
+
+// cfgFromBytes derives a small but policy- and partition-diverse
+// geometry from three fuzz bytes.
+func cfgFromBytes(b0, b1, b2 byte) cache.Config {
+	ways := 1 + int(b1)%12
+	return cache.Config{
+		Name:        "oracle",
+		Sets:        1 + int(b0>>4)%4,
+		Ways:        ways,
+		Policy:      cache.Policies()[int(b0)%5],
+		PartitionAt: int(b2) % ways, // 0 = unpartitioned
+	}
+}
+
+// FuzzCacheMatchesModel drives the optimized cache and the reference
+// model through the same fuzzer-chosen operation script and requires
+// op-for-op agreement on every result and every observable probe. The
+// committed corpus under testdata/fuzz runs on every plain `go test`.
+func FuzzCacheMatchesModel(f *testing.F) {
+	// Seeds: each policy, partitioned and not, with a mixed op script.
+	script := []byte{0, 1, 2, 2, 3, 0, 4, 1, 2, 0, 5, 2, 6, 0, 2, 1, 2, 3, 0, 0}
+	for pol := byte(0); pol < 5; pol++ {
+		f.Add(append([]byte{pol, 7, 0}, script...))
+		f.Add(append([]byte{pol, 10, 4}, script...))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		cfg := cfgFromBytes(data[0], data[1], data[2])
+		p := newPair(cfg, 42)
+		ops := data[3:]
+		for i := 0; i+2 < len(ops); i += 3 {
+			p.step(t, cfg, ops[i], ops[i+1], ops[i+2])
+		}
+	})
+}
+
+// TestHotPathMatchesModel is the deterministic CI face of the oracle:
+// long pseudo-random scripts over every policy, with and without a way
+// partition, checked op-by-op. It covers the same property as the fuzz
+// target without needing -fuzz, so a plain `go test ./...` licenses the
+// hot path.
+func TestHotPathMatchesModel(t *testing.T) {
+	for _, pol := range cache.Policies() {
+		for _, partition := range []int{0, 3} {
+			cfg := cache.Config{
+				Name:        "oracle",
+				Sets:        4,
+				Ways:        11, // odd associativity exercises the PLRU->LRU fallback
+				Policy:      pol,
+				PartitionAt: partition,
+			}
+			p := newPair(cfg, uint64(17+partition))
+			ops := xrand.New(uint64(1000 + int(pol)))
+			for i := 0; i < 4000; i++ {
+				p.step(t, cfg, byte(ops.Uint64()), byte(ops.Uint64()), byte(ops.Uint64()))
+			}
+		}
+		// Power-of-two geometry so TreePLRU runs its real tree.
+		cfg := cache.Config{Name: "oracle", Sets: 2, Ways: 8, Policy: pol}
+		p := newPair(cfg, 23)
+		ops := xrand.New(uint64(2000 + int(pol)))
+		for i := 0; i < 4000; i++ {
+			p.step(t, cfg, byte(ops.Uint64()), byte(ops.Uint64()), byte(ops.Uint64()))
+		}
+	}
+}
+
+// TestResetMatchesFreshBothImpls is the reset-vs-fresh metamorphic
+// invariant, run against both implementations simultaneously: an
+// arbitrarily dirtied then Reset() cache must be indistinguishable from
+// a freshly constructed one on any subsequent script — including the
+// randomized-policy victim stream.
+func TestResetMatchesFreshBothImpls(t *testing.T) {
+	for _, pol := range cache.Policies() {
+		for _, partition := range []int{0, 2} {
+			cfg := cache.Config{Name: "oracle", Sets: 3, Ways: 8, Policy: pol, PartitionAt: partition}
+			dirty := newPair(cfg, 99)
+			scramble := xrand.New(0xd1e7)
+			for i := 0; i < 500; i++ {
+				dirty.step(t, cfg, byte(scramble.Uint64()), byte(scramble.Uint64()), byte(scramble.Uint64()))
+			}
+			dirty.fast.Reset(xrand.New(7))
+			dirty.ref.Reset(xrand.New(7))
+			fresh := newPair(cfg, 7)
+			ops := xrand.New(0xab)
+			for i := 0; i < 1000; i++ {
+				a, b, c := byte(ops.Uint64()), byte(ops.Uint64()), byte(ops.Uint64())
+				dirty.step(t, cfg, a, b, c)
+				fresh.step(t, cfg, a, b, c)
+				// Cross-check the reset pair against the fresh pair.
+				set := int(b) % cfg.Sets
+				if do, fo := dirty.fast.OccupiedWays(set), fresh.fast.OccupiedWays(set); do != fo {
+					t.Fatalf("%v/split%d: reset cache diverged from fresh at op %d: occupancy %d vs %d",
+						pol, partition, i, do, fo)
+				}
+				dt, ft := dirty.fast.TagsIn(set), fresh.fast.TagsIn(set)
+				if len(dt) != len(ft) {
+					t.Fatalf("%v/split%d: reset cache holds %d tags vs fresh %d", pol, partition, len(dt), len(ft))
+				}
+				for j := range dt {
+					if dt[j] != ft[j] {
+						t.Fatalf("%v/split%d: reset tag %d vs fresh %d", pol, partition, dt[j], ft[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionIsolationBothImpls is the domain-isolation metamorphic
+// invariant: on a way-partitioned cache, no volume of region-0
+// allocations may ever evict a region-1 resident (and vice versa), in
+// either implementation. This is the property the partition defense
+// sells; the oracle pins it on the optimized path.
+func TestPartitionIsolationBothImpls(t *testing.T) {
+	for _, pol := range cache.Policies() {
+		cfg := cache.Config{Name: "oracle", Sets: 2, Ways: 10, Policy: pol, PartitionAt: 4}
+		p := newPair(cfg, 5)
+		// Residents in region 1.
+		protected := []cache.Tag{1000, 1001, 1002}
+		for _, tag := range protected {
+			p.fast.InsertRegion(1, 0, tag, 0)
+			p.ref.InsertRegion(1, 0, tag, 0)
+		}
+		// Storm region 0 far past its capacity.
+		for i := cache.Tag(1); i <= 200; i++ {
+			fe := p.fast.InsertRegion(0, 0, i, 0)
+			re := p.ref.InsertRegion(0, 0, i, 0)
+			if fe != re {
+				t.Fatalf("%v: storm insert %d evicted %+v fast vs %+v model", pol, i, fe, re)
+			}
+			for _, tag := range protected {
+				if fe.Valid && fe.Tag == tag {
+					t.Fatalf("%v: region-0 storm evicted region-1 resident %d", pol, tag)
+				}
+			}
+		}
+		for _, tag := range protected {
+			if !p.fast.Contains(0, tag) || !p.ref.Contains(0, tag) {
+				t.Fatalf("%v: region-1 resident %d lost isolation", pol, tag)
+			}
+		}
+	}
+}

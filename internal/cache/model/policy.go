@@ -1,0 +1,225 @@
+// Replacement-policy reference implementations: per-set heap objects
+// behind an interface, exactly as the cache package shipped them before
+// the flat-array rewrite. Clarity over speed throughout.
+
+package model
+
+import (
+	"repro/internal/cache"
+	"repro/internal/xrand"
+)
+
+// policyState tracks replacement metadata for one set (or one region of
+// a partitioned set).
+type policyState interface {
+	// touch records a hit on the given way.
+	touch(way int)
+	// insert records a fill into the given way.
+	insert(way int)
+	// victim selects the way to evict when all ways are valid.
+	victim() int
+	// reset clears the state (used when a set is flushed).
+	reset()
+	// reseed swaps the randomness source so a reset cache replays the
+	// same victim stream a freshly built cache would draw.
+	reseed(rng *xrand.Rand)
+}
+
+// newPolicyState builds per-set state for the given kind.
+func newPolicyState(kind cache.PolicyKind, ways int, rng *xrand.Rand) policyState {
+	switch kind {
+	case cache.TrueLRU:
+		return newLRUState(ways)
+	case cache.TreePLRU:
+		if ways&(ways-1) == 0 {
+			return newPLRUState(ways)
+		}
+		// Tree-PLRU requires a power-of-two associativity; fall back to
+		// true LRU for odd geometries (e.g. the 11-way LLC slice).
+		return newLRUState(ways)
+	case cache.SRRIP:
+		return newRRIPState(ways, rng)
+	case cache.QLRU:
+		return newQLRUState(ways)
+	case cache.RandomRepl:
+		return &randomState{ways: ways, rng: rng}
+	default:
+		panic("cache: unknown policy kind")
+	}
+}
+
+// lruState implements true LRU with a recency ordering. order[0] is MRU.
+type lruState struct {
+	order []uint8 // way indices, most-recent first
+}
+
+func newLRUState(ways int) *lruState {
+	s := &lruState{order: make([]uint8, ways)}
+	s.reset()
+	return s
+}
+
+func (s *lruState) reset() {
+	for i := range s.order {
+		s.order[i] = uint8(i)
+	}
+}
+
+func (s *lruState) moveToFront(way int) {
+	w := uint8(way)
+	pos := 0
+	for i, v := range s.order {
+		if v == w {
+			pos = i
+			break
+		}
+	}
+	copy(s.order[1:pos+1], s.order[:pos])
+	s.order[0] = w
+}
+
+func (s *lruState) touch(way int)      { s.moveToFront(way) }
+func (s *lruState) insert(way int)     { s.moveToFront(way) }
+func (s *lruState) victim() int        { return int(s.order[len(s.order)-1]) }
+func (s *lruState) reseed(*xrand.Rand) {}
+
+// plruState implements Tree-PLRU for power-of-two associativity. The tree
+// is stored as bits in a flat array; bit=0 means "go left for victim".
+type plruState struct {
+	bits []bool
+	ways int
+}
+
+func newPLRUState(ways int) *plruState {
+	return &plruState{bits: make([]bool, ways-1), ways: ways}
+}
+
+func (s *plruState) reset() {
+	for i := range s.bits {
+		s.bits[i] = false
+	}
+}
+
+// touch flips tree bits along the path to way so the path points away.
+func (s *plruState) touch(way int) {
+	node := 0
+	lo, hi := 0, s.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			s.bits[node] = true // point victim search right
+			node = 2*node + 1
+			hi = mid
+		} else {
+			s.bits[node] = false // point victim search left
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+}
+
+func (s *plruState) insert(way int)     { s.touch(way) }
+func (s *plruState) reseed(*xrand.Rand) {}
+
+func (s *plruState) victim() int {
+	node := 0
+	lo, hi := 0, s.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if !s.bits[node] {
+			node = 2*node + 1
+			hi = mid
+		} else {
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+	return lo
+}
+
+// rripState implements SRRIP with 2-bit re-reference prediction values.
+// Insertions use RRPV=2, hits promote to 0, victims are ways with RRPV=3
+// (aging all ways until one qualifies), ties broken by lowest way index.
+type rripState struct {
+	rrpv []uint8
+	rng  *xrand.Rand
+}
+
+func newRRIPState(ways int, rng *xrand.Rand) *rripState {
+	s := &rripState{rrpv: make([]uint8, ways), rng: rng}
+	s.reset()
+	return s
+}
+
+const rripMax = 3
+
+func (s *rripState) reset() {
+	for i := range s.rrpv {
+		s.rrpv[i] = rripMax
+	}
+}
+
+func (s *rripState) touch(way int)          { s.rrpv[way] = 0 }
+func (s *rripState) insert(way int)         { s.rrpv[way] = rripMax - 1 }
+func (s *rripState) reseed(rng *xrand.Rand) { s.rng = rng }
+
+func (s *rripState) victim() int {
+	for {
+		for i, v := range s.rrpv {
+			if v == rripMax {
+				return i
+			}
+		}
+		for i := range s.rrpv {
+			s.rrpv[i]++
+		}
+	}
+}
+
+// qlruState approximates Intel's quad-age LRU: hits set age 0, inserts
+// set age 1, eviction picks the *last* way at the maximum age, aging the
+// set when no way qualifies.
+type qlruState struct {
+	age []uint8
+}
+
+func newQLRUState(ways int) *qlruState {
+	s := &qlruState{age: make([]uint8, ways)}
+	s.reset()
+	return s
+}
+
+func (s *qlruState) reset() {
+	for i := range s.age {
+		s.age[i] = 3
+	}
+}
+
+func (s *qlruState) touch(way int)      { s.age[way] = 0 }
+func (s *qlruState) insert(way int)     { s.age[way] = 1 }
+func (s *qlruState) reseed(*xrand.Rand) {}
+
+func (s *qlruState) victim() int {
+	for {
+		for i := len(s.age) - 1; i >= 0; i-- {
+			if s.age[i] == 3 {
+				return i
+			}
+		}
+		for i := range s.age {
+			s.age[i]++
+		}
+	}
+}
+
+// randomState evicts a uniformly random way.
+type randomState struct {
+	ways int
+	rng  *xrand.Rand
+}
+
+func (s *randomState) reset()                 {}
+func (s *randomState) touch(int)              {}
+func (s *randomState) insert(int)             {}
+func (s *randomState) victim() int            { return s.rng.Intn(s.ways) }
+func (s *randomState) reseed(rng *xrand.Rand) { s.rng = rng }

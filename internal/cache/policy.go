@@ -6,6 +6,12 @@
 // structures — they observe only latencies — but the experiments' outcomes
 // (eviction-set success rates, Prime+Probe detection rates) emerge from
 // the way state modelled here.
+//
+// The implementation is layout- and dispatch-optimized: all per-set state
+// lives in flat arrays indexed by set*ways+way, and the replacement
+// policy is resolved to a small enum at construction so the per-access
+// path is a switch instead of an interface call. The reference
+// implementation it must match op-for-op lives in internal/cache/model.
 package cache
 
 import (
@@ -77,222 +83,257 @@ func (k PolicyKind) String() string {
 	}
 }
 
-// policyState tracks replacement metadata for one set. Implementations
-// assume ways is fixed after construction.
-type policyState interface {
-	// touch records a hit on the given way.
-	touch(way int)
-	// insert records a fill into the given way.
-	insert(way int)
-	// victim selects the way to evict when all ways are valid.
-	victim() int
-	// reset clears the state (used when a set is flushed).
-	reset()
-	// reseed swaps the randomness source so a reset cache replays the
-	// same victim stream a freshly built cache would draw. Deterministic
-	// policies ignore it.
-	reseed(rng *xrand.Rand)
-}
+// rpolicy is a PolicyKind resolved against a concrete region width: the
+// only non-trivial resolution is TreePLRU degrading to true LRU for
+// non-power-of-two regions. Resolving once at construction lets every
+// per-access call dispatch on a dense enum instead of an interface.
+type rpolicy uint8
 
-// newPolicyState builds per-set state for the given kind. rng is used only
-// by randomized policies and may be shared across sets of one cache.
-func newPolicyState(kind PolicyKind, ways int, rng *xrand.Rand) policyState {
+const (
+	rLRU rpolicy = iota
+	rPLRU
+	rSRRIP
+	rQLRU
+	rRandom
+)
+
+const rripMax = 3
+
+// resolvePolicy maps a configured kind onto the dispatch enum for a
+// region of the given width.
+func resolvePolicy(kind PolicyKind, ways int) rpolicy {
 	switch kind {
 	case TrueLRU:
-		return newLRUState(ways)
+		return rLRU
 	case TreePLRU:
 		if ways&(ways-1) == 0 {
-			return newPLRUState(ways)
+			return rPLRU
 		}
 		// Tree-PLRU requires a power-of-two associativity; fall back to
 		// true LRU for odd geometries (e.g. the 11-way LLC slice).
-		return newLRUState(ways)
+		return rLRU
 	case SRRIP:
-		return newRRIPState(ways, rng)
+		return rSRRIP
 	case QLRU:
-		return newQLRUState(ways)
+		return rQLRU
 	case RandomRepl:
-		return &randomState{ways: ways, rng: rng}
+		return rRandom
 	default:
 		panic("cache: unknown policy kind")
 	}
 }
 
-// lruState implements true LRU with a recency ordering. order[0] is MRU.
-type lruState struct {
-	order []uint8 // way indices, most-recent first
-}
-
-func newLRUState(ways int) *lruState {
-	s := &lruState{order: make([]uint8, ways)}
-	s.reset()
-	return s
-}
-
-func (s *lruState) reset() {
-	for i := range s.order {
-		s.order[i] = uint8(i)
+// metaStride returns the bytes of replacement metadata one set needs for
+// the resolved policy over a region of the given width: a recency order
+// for LRU, tree bits for PLRU, one age/RRPV byte per way for QLRU/SRRIP,
+// nothing for random replacement.
+func metaStride(kind rpolicy, ways int) int {
+	switch kind {
+	case rLRU, rSRRIP, rQLRU:
+		return ways
+	case rPLRU:
+		return ways - 1
+	case rRandom:
+		return 0
+	default:
+		panic("cache: unknown policy kind")
 	}
 }
 
-func (s *lruState) moveToFront(way int) {
-	w := uint8(way)
+// regionPolicy is the replacement state for one region (or the whole
+// set when unpartitioned) across every set of a cache: meta holds each
+// set's metadata at set*stride, and all operations switch on the
+// resolved kind.
+type regionPolicy struct {
+	kind   rpolicy
+	ways   int     // region width in ways
+	stride int     // metadata bytes per set
+	meta   []uint8 // nsets * stride
+}
+
+func newRegionPolicy(kind PolicyKind, ways, nsets int) regionPolicy {
+	r := resolvePolicy(kind, ways)
+	p := regionPolicy{kind: r, ways: ways, stride: metaStride(r, ways)}
+	p.meta = make([]uint8, nsets*p.stride)
+	for set := 0; set < nsets; set++ {
+		p.resetSet(set)
+	}
+	return p
+}
+
+// resetSet restores one set's metadata to its post-construction state.
+func (p *regionPolicy) resetSet(set int) {
+	m := p.meta[set*p.stride : set*p.stride+p.stride]
+	switch p.kind {
+	case rLRU:
+		for i := range m {
+			m[i] = uint8(i)
+		}
+	case rPLRU:
+		for i := range m {
+			m[i] = 0
+		}
+	case rSRRIP, rQLRU:
+		for i := range m {
+			m[i] = rripMax
+		}
+	case rRandom:
+	}
+}
+
+// resetAll restores every set's metadata in one pass, using bulk fills
+// for the policies whose reset value is uniform.
+func (p *regionPolicy) resetAll() {
+	switch p.kind {
+	case rPLRU:
+		for i := range p.meta {
+			p.meta[i] = 0
+		}
+	case rSRRIP, rQLRU:
+		for i := range p.meta {
+			p.meta[i] = rripMax
+		}
+	case rLRU:
+		for set := 0; set*p.stride < len(p.meta); set++ {
+			p.resetSet(set)
+		}
+	case rRandom:
+	}
+}
+
+// moveToFront promotes way w to MRU in an LRU recency order.
+func moveToFront(order []uint8, way uint8) {
 	pos := 0
-	for i, v := range s.order {
-		if v == w {
+	for i, v := range order {
+		if v == way {
 			pos = i
 			break
 		}
 	}
-	copy(s.order[1:pos+1], s.order[:pos])
-	s.order[0] = w
+	copy(order[1:pos+1], order[:pos])
+	order[0] = way
 }
 
-func (s *lruState) touch(way int)      { s.moveToFront(way) }
-func (s *lruState) insert(way int)     { s.moveToFront(way) }
-func (s *lruState) victim() int        { return int(s.order[len(s.order)-1]) }
-func (s *lruState) reseed(*xrand.Rand) {}
-
-// plruState implements Tree-PLRU for power-of-two associativity. The tree
-// is stored as bits in a flat array; bit=0 means "go left for victim".
-type plruState struct {
-	bits []bool
-	ways int
-}
-
-func newPLRUState(ways int) *plruState {
-	return &plruState{bits: make([]bool, ways-1), ways: ways}
-}
-
-func (s *plruState) reset() {
-	for i := range s.bits {
-		s.bits[i] = false
-	}
-}
-
-// touch flips tree bits along the path to way so the path points away.
-func (s *plruState) touch(way int) {
+// plruTouch flips tree bits along the path to way so the victim search
+// points away from it. The tree is bits in a flat array; bit=0 means "go
+// left for victim".
+func plruTouch(bits []uint8, ways, way int) {
 	node := 0
-	lo, hi := 0, s.ways
+	lo, hi := 0, ways
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
 		if way < mid {
-			s.bits[node] = true // point victim search right
+			bits[node] = 1 // point victim search right
 			node = 2*node + 1
 			hi = mid
 		} else {
-			s.bits[node] = false // point victim search left
+			bits[node] = 0 // point victim search left
 			node = 2*node + 2
 			lo = mid
 		}
 	}
 }
 
-func (s *plruState) insert(way int)     { s.touch(way) }
-func (s *plruState) reseed(*xrand.Rand) {}
-
-func (s *plruState) victim() int {
-	node := 0
-	lo, hi := 0, s.ways
-	for hi-lo > 1 {
-		mid := (lo + hi) / 2
-		if !s.bits[node] {
-			node = 2*node + 1
-			hi = mid
-		} else {
-			node = 2*node + 2
-			lo = mid
-		}
-	}
-	return lo
-}
-
-// rripState implements SRRIP with 2-bit re-reference prediction values.
-// Insertions use RRPV=2 ("long re-reference"), hits promote to 0, victims
-// are ways with RRPV=3 (aging all ways until one qualifies). Ties are
-// broken by the lowest way index, matching the common hardware choice.
-type rripState struct {
-	rrpv []uint8
-	rng  *xrand.Rand
-}
-
-func newRRIPState(ways int, rng *xrand.Rand) *rripState {
-	s := &rripState{rrpv: make([]uint8, ways), rng: rng}
-	s.reset()
-	return s
-}
-
-const rripMax = 3
-
-func (s *rripState) reset() {
-	for i := range s.rrpv {
-		s.rrpv[i] = rripMax
+// touch records a hit on way w (region-relative) of the given set.
+func (p *regionPolicy) touch(set, w int) {
+	m := p.meta[set*p.stride:]
+	switch p.kind {
+	case rLRU:
+		moveToFront(m[:p.ways], uint8(w))
+	case rPLRU:
+		plruTouch(m, p.ways, w)
+	case rSRRIP, rQLRU:
+		m[w] = 0
+	case rRandom:
 	}
 }
 
-func (s *rripState) touch(way int)          { s.rrpv[way] = 0 }
-func (s *rripState) insert(way int)         { s.rrpv[way] = rripMax - 1 }
-func (s *rripState) reseed(rng *xrand.Rand) { s.rng = rng }
+// insert records a fill into way w (region-relative) of the given set.
+// SRRIP inserts at a long re-reference prediction (RRPV 2); QLRU at age 1.
+func (p *regionPolicy) insert(set, w int) {
+	m := p.meta[set*p.stride:]
+	switch p.kind {
+	case rLRU:
+		moveToFront(m[:p.ways], uint8(w))
+	case rPLRU:
+		plruTouch(m, p.ways, w)
+	case rSRRIP:
+		m[w] = rripMax - 1
+	case rQLRU:
+		m[w] = 1
+	case rRandom:
+	}
+}
 
-func (s *rripState) victim() int {
-	for {
-		for i, v := range s.rrpv {
-			if v == rripMax {
-				return i
+// victim selects the region-relative way to evict from the given set.
+// SRRIP prefers the lowest way at the maximum RRPV, QLRU the highest way
+// at the maximum age; both age the whole region until a way qualifies.
+// Random replacement draws from rng in call order, which is why victim
+// order is part of the determinism contract.
+func (p *regionPolicy) victim(set int, rng *xrand.Rand) int {
+	m := p.meta[set*p.stride:]
+	switch p.kind {
+	case rLRU:
+		return int(m[p.ways-1])
+	case rPLRU:
+		node := 0
+		lo, hi := 0, p.ways
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			if m[node] == 0 {
+				node = 2*node + 1
+				hi = mid
+			} else {
+				node = 2*node + 2
+				lo = mid
 			}
 		}
-		for i := range s.rrpv {
-			s.rrpv[i]++
-		}
-	}
-}
-
-// qlruState approximates Intel's quad-age LRU: 2-bit ages where hits set
-// age 0, inserts set age 1, and eviction picks the oldest (highest age),
-// aging the set when no way is at the maximum. It differs from SRRIP in
-// its insertion age and in preferring the *last* maximal way, which gives
-// it a mild scan resistance similar to observed Skylake behaviour.
-type qlruState struct {
-	age []uint8
-}
-
-func newQLRUState(ways int) *qlruState {
-	s := &qlruState{age: make([]uint8, ways)}
-	s.reset()
-	return s
-}
-
-func (s *qlruState) reset() {
-	for i := range s.age {
-		s.age[i] = 3
-	}
-}
-
-func (s *qlruState) touch(way int)      { s.age[way] = 0 }
-func (s *qlruState) insert(way int)     { s.age[way] = 1 }
-func (s *qlruState) reseed(*xrand.Rand) {}
-
-func (s *qlruState) victim() int {
-	for {
-		for i := len(s.age) - 1; i >= 0; i-- {
-			if s.age[i] == 3 {
-				return i
+		return lo
+	case rSRRIP:
+		for {
+			for i := 0; i < p.ways; i++ {
+				if m[i] == rripMax {
+					return i
+				}
+			}
+			for i := 0; i < p.ways; i++ {
+				m[i]++
 			}
 		}
-		for i := range s.age {
-			s.age[i]++
+	case rQLRU:
+		for {
+			for i := p.ways - 1; i >= 0; i-- {
+				if m[i] == rripMax {
+					return i
+				}
+			}
+			for i := 0; i < p.ways; i++ {
+				m[i]++
+			}
 		}
+	case rRandom:
+		return rng.Intn(p.ways)
+	default:
+		panic("cache: unknown policy kind")
 	}
 }
 
-// randomState evicts a uniformly random way.
-type randomState struct {
-	ways int
-	rng  *xrand.Rand
+// policyInstance is a single-set view over a regionPolicy, used by
+// policy-level tests to drive one instance through scripted sequences
+// the way the old interface-based states were driven.
+type policyInstance struct {
+	r   regionPolicy
+	rng *xrand.Rand
 }
 
-func (s *randomState) reset()                 {}
-func (s *randomState) touch(int)              {}
-func (s *randomState) insert(int)             {}
-func (s *randomState) victim() int            { return s.rng.Intn(s.ways) }
-func (s *randomState) reseed(rng *xrand.Rand) { s.rng = rng }
+// newPolicyState builds one set's worth of policy state. rng is used only
+// by randomized policies.
+func newPolicyState(kind PolicyKind, ways int, rng *xrand.Rand) *policyInstance {
+	return &policyInstance{r: newRegionPolicy(kind, ways, 1), rng: rng}
+}
+
+func (s *policyInstance) touch(way int)          { s.r.touch(0, way) }
+func (s *policyInstance) insert(way int)         { s.r.insert(0, way) }
+func (s *policyInstance) victim() int            { return s.r.victim(0, s.rng) }
+func (s *policyInstance) reset()                 { s.r.resetSet(0) }
+func (s *policyInstance) reseed(rng *xrand.Rand) { s.rng = rng }

@@ -173,7 +173,7 @@ func TestPolicyVictimInRange(t *testing.T) {
 // pooled hosts reuse cache arrays without perturbing determinism.
 func TestPolicyResetReplay(t *testing.T) {
 	const ways, seed = 8, uint64(37)
-	drive := func(s policyState) []int {
+	drive := func(s *policyInstance) []int {
 		ops := xrand.New(0x5eed)
 		var victims []int
 		for i := 0; i < 300; i++ {

@@ -123,6 +123,41 @@ func (nopModel) Observe(_ *xrand.Rand, measured float64) float64 { return measur
 func (nopModel) Tick()                                           {}
 func (nopModel) Reset(uint64)                                    {}
 
+// Hooks reports which per-access hooks of a Model can have observable
+// effects. The hierarchy resolves it once at host-build time and skips
+// the virtual call for every hook flagged false: a skipped hook is
+// guaranteed to be the identity (Index), a no-op (Tick), or a
+// passthrough that never touches rng (Observe), so skipping it cannot
+// change any simulated state or random draw.
+type Hooks struct {
+	// Tick is true when Tick mutates per-access state (rekey counters).
+	Tick bool
+	// Index is true when Index is not the identity on the base set index.
+	Index bool
+	// Observe is true when Observe transforms measurements or draws from
+	// the host rng.
+	Observe bool
+}
+
+// HooksOf resolves the hook needs of the shipped model kinds. Models
+// this package does not know conservatively get every hook enabled.
+func HooksOf(m Model) Hooks {
+	switch m.(type) {
+	case nil:
+		return Hooks{}
+	case *partitionModel:
+		return Hooks{}
+	case *randomizeModel:
+		return Hooks{Tick: true, Index: true}
+	case *scatterModel:
+		return Hooks{Index: true}
+	case *quiesceModel:
+		return Hooks{Observe: true}
+	default:
+		return Hooks{Tick: true, Index: true, Observe: true}
+	}
+}
+
 // modelInfo is one registry entry.
 type modelInfo struct {
 	name  string

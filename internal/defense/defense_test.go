@@ -274,3 +274,61 @@ func TestQuiesceObserve(t *testing.T) {
 		t.Error("jitter should perturb the measurement")
 	}
 }
+
+// TestHooksOfHonest pins the devirtualization contract: any hook
+// HooksOf reports as skippable must be an identity/no-op/non-drawing
+// passthrough for that model. The hierarchy relies on this to elide
+// virtual calls on the access path without changing a single draw.
+func TestHooksOfHonest(t *testing.T) {
+	specs := []Spec{
+		{Model: "partition", Ways: 4},
+		{Model: "randomize", Period: 100},
+		{Model: "scatter"},
+		{Model: "quiesce", Quantum: 64, Jitter: 8},
+	}
+	for _, sp := range specs {
+		m, err := sp.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", sp.Model, err)
+		}
+		m.Reset(7)
+		hooks := HooksOf(m)
+		lines := xrand.New(21)
+		for i := 0; i < 200; i++ {
+			line := lines.Uint64() &^ 0x3f
+			slice := int(lines.Uint64() % 4)
+			base := int(lines.Uint64() % 1024)
+			d := Domain(lines.Uint64() % 3)
+			if !hooks.Index {
+				if got := m.Index(d, line, slice, base, 1024); got != base {
+					t.Fatalf("%s: Hooks.Index=false but Index(%v, %#x) = %d != base %d",
+						sp.Model, d, line, got, base)
+				}
+			}
+			if !hooks.Observe {
+				probe := xrand.New(33)
+				before := probe.Uint64()
+				probe.Seed(33)
+				if got := m.Observe(probe, 123.5); got != 123.5 {
+					t.Fatalf("%s: Hooks.Observe=false but Observe transformed the measurement to %g", sp.Model, got)
+				}
+				if probe.Uint64() != before {
+					t.Fatalf("%s: Hooks.Observe=false but Observe drew from rng", sp.Model)
+				}
+			}
+		}
+		if !hooks.Tick {
+			// Ticking must not change any observable mapping.
+			wantIdx := m.Index(DomainAttacker, 0x1000, 0, 5, 1024)
+			for i := 0; i < 1000; i++ {
+				m.Tick()
+			}
+			if got := m.Index(DomainAttacker, 0x1000, 0, 5, 1024); got != wantIdx {
+				t.Fatalf("%s: Hooks.Tick=false but 1000 ticks moved Index %d -> %d", sp.Model, wantIdx, got)
+			}
+		}
+	}
+	if h := HooksOf(nil); h.Tick || h.Index || h.Observe {
+		t.Fatalf("HooksOf(nil) = %+v, want all false", h)
+	}
+}

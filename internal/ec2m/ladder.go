@@ -32,7 +32,7 @@ type LadderHook func(step LadderStep)
 //	x1' = x·z1' + u·v
 func (c *Curve) MAdd(x1, z1, x2, z2, x gf2m.Elem) {
 	f := c.F
-	u, v, t := f.NewElem(), f.NewElem(), f.NewElem()
+	u, v, t := ladderScratch(f)
 	f.Mul(u, x1, z2)
 	f.Mul(v, x2, z1)
 	f.Add(t, u, v)
@@ -49,7 +49,7 @@ func (c *Curve) MAdd(x1, z1, x2, z2, x gf2m.Elem) {
 //	x' = x⁴ + b·z⁴
 func (c *Curve) MDouble(x, z gf2m.Elem) {
 	f := c.F
-	x2, z2, t := f.NewElem(), f.NewElem(), f.NewElem()
+	x2, z2, t := ladderScratch(f)
 	f.Sqr(x2, x)
 	f.Sqr(z2, z)
 	f.Mul(z, x2, z2)
@@ -57,6 +57,24 @@ func (c *Curve) MDouble(x, z gf2m.Elem) {
 	f.Sqr(t, z2)     // z⁴
 	f.Mul(t, c.B, t) // b·z⁴
 	f.Add(x, x, t)
+}
+
+// ladderScratchWords sizes the stack scratch used by the per-bit ladder
+// steps; sect571 needs 9 words. Wider custom fields fall back to heap
+// elements.
+const ladderScratchWords = 9
+
+// ladderScratch returns three zeroed temporaries for one ladder step.
+// For the standard fields they live on the caller's stack (the arrays
+// never escape: gf2m routines only read/write through them), which keeps
+// the victim's ~2·163 steps per signature allocation-free.
+func ladderScratch(f *gf2m.Field) (u, v, t gf2m.Elem) {
+	n := f.Words()
+	if n > ladderScratchWords {
+		return f.NewElem(), f.NewElem(), f.NewElem()
+	}
+	var ub, vb, tb [ladderScratchWords]uint64
+	return ub[:n], vb[:n], tb[:n]
 }
 
 // LadderMultX computes the affine x-coordinate of k·P with the

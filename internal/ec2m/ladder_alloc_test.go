@@ -1,0 +1,23 @@
+package ec2m
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestLadderStepAllocs(t *testing.T) {
+	c := Sect163()
+	f := c.F
+	rng := xrand.New(3)
+	x1, z1 := f.Rand(rng), f.Rand(rng)
+	x2, z2 := f.Rand(rng), f.Rand(rng)
+	x := f.Rand(rng)
+	n := testing.AllocsPerRun(100, func() {
+		c.MAdd(x1, z1, x2, z2, x)
+		c.MDouble(x2, z2)
+	})
+	if n != 0 {
+		t.Fatalf("ladder step allocates %v times, want 0", n)
+	}
+}

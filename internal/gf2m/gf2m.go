@@ -181,9 +181,79 @@ func (f *Field) reduce(e Elem) {
 	}
 }
 
+// maxWords is the widest element (in 64-bit words) the fast comb
+// multiplier handles with stack scratch; sect571 needs 9. Wider fields
+// fall back to the bit-serial path.
+const maxWords = 9
+
 // Mul returns a*b mod f. dst may alias a or b (the product is built in a
-// scratch accumulator).
+// scratch accumulator). Multiplication is a pure function of (a, b, f),
+// so the algorithm here — a left-to-right 4-bit windowed comb over
+// stack-allocated scratch, followed by word-level reduction — is free to
+// differ from the bit-serial reference (mulGeneric) without changing any
+// simulator output.
 func (f *Field) Mul(dst, a, b Elem) Elem {
+	if len(a) < f.words || len(b) < f.words {
+		panic("gf2m: uninitialized element")
+	}
+	if f.words > maxWords {
+		return f.mulGeneric(dst, a, b)
+	}
+	n := f.words
+	// tab[u] = a * u(x) for every 4-bit polynomial u, one headroom word
+	// for the up-to-3-bit shift.
+	var tab [16][maxWords + 1]uint64
+	for w := 0; w < n; w++ {
+		tab[1][w] = a[w]
+	}
+	for u := 2; u < 16; u++ {
+		if u&1 == 0 {
+			src := &tab[u/2]
+			carry := uint64(0)
+			for w := 0; w <= n; w++ {
+				tab[u][w] = src[w]<<1 | carry
+				carry = src[w] >> 63
+			}
+		} else {
+			src := &tab[u-1]
+			for w := 0; w <= n; w++ {
+				tab[u][w] = src[w]
+			}
+			for w := 0; w < n; w++ {
+				tab[u][w] ^= a[w]
+			}
+		}
+	}
+	var acc [2 * maxWords]uint64
+	for k := 15; ; k-- {
+		for i := 0; i < n; i++ {
+			u := (b[i] >> uint(4*k)) & 0xF
+			if u != 0 {
+				t := &tab[u]
+				for w := 0; w <= n; w++ {
+					acc[i+w] ^= t[w]
+				}
+			}
+		}
+		if k == 0 {
+			break
+		}
+		carry := uint64(0)
+		for w := 0; w < 2*n; w++ {
+			next := acc[w] >> 60
+			acc[w] = acc[w]<<4 | carry
+			carry = next
+		}
+	}
+	f.reduceWide(acc[:2*n])
+	copy(dst, acc[:n])
+	return dst
+}
+
+// mulGeneric is the bit-serial shift-and-add multiplier: slow, obviously
+// correct, and the reference the comb path is tested against. It also
+// serves fields wider than maxWords.
+func (f *Field) mulGeneric(dst, a, b Elem) Elem {
 	if len(a) < f.words || len(b) < f.words {
 		panic("gf2m: uninitialized element")
 	}
@@ -208,9 +278,93 @@ func (f *Field) Mul(dst, a, b Elem) Elem {
 	return dst
 }
 
-// Sqr returns a² mod f. dst may alias a.
+// reduceWide reduces a double-width polynomial (the raw comb or squaring
+// product) modulo f in place; on return only acc[:f.words] is meaningful.
+// Each pass folds every bit at position >= m down by xoring the tail of
+// the reduction polynomial at the shifted offset; sparse pentanomials
+// converge in one pass for large fields, and the loop covers toy fields
+// where a fold can re-raise bits above m.
+func (f *Field) reduceWide(acc Elem) {
+	mw, mb := f.M/64, uint(f.M%64)
+	for {
+		progress := false
+		for i := len(acc) - 1; i > mw; i-- {
+			w := acc[i]
+			if w == 0 {
+				continue
+			}
+			acc[i] = 0
+			base := i*64 - f.M
+			for _, p := range f.Poly[1:] {
+				sh := base + p
+				ws, bs := sh/64, uint(sh%64)
+				acc[ws] ^= w << bs
+				if bs != 0 && ws+1 < len(acc) {
+					acc[ws+1] ^= w >> (64 - bs)
+				}
+			}
+			progress = true
+		}
+		if hi := acc[mw] >> mb; hi != 0 {
+			acc[mw] ^= hi << mb
+			for _, p := range f.Poly[1:] {
+				ws, bs := p/64, uint(p%64)
+				acc[ws] ^= hi << bs
+				if bs != 0 && ws+1 < len(acc) {
+					acc[ws+1] ^= hi >> (64 - bs)
+				}
+			}
+			progress = true
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// sqrTab spreads the bits of a byte into the even bit positions of a
+// 16-bit word: squaring in GF(2)[x] just interleaves zeros between bits.
+var sqrTab = func() (t [256]uint16) {
+	for i := range t {
+		v := uint16(0)
+		for b := 0; b < 8; b++ {
+			if i>>uint(b)&1 == 1 {
+				v |= 1 << uint(2*b)
+			}
+		}
+		t[i] = v
+	}
+	return
+}()
+
+// spread32 expands 32 bits into 64 by inserting a zero after every bit.
+func spread32(x uint32) uint64 {
+	return uint64(sqrTab[x&0xff]) |
+		uint64(sqrTab[x>>8&0xff])<<16 |
+		uint64(sqrTab[x>>16&0xff])<<32 |
+		uint64(sqrTab[x>>24])<<48
+}
+
+// Sqr returns a² mod f. dst may alias a. Squaring is linear over GF(2),
+// so it is a straight bit-spread through sqrTab plus one reduction —
+// far cheaper than a general multiply.
 func (f *Field) Sqr(dst, a Elem) Elem {
-	return f.Mul(dst, a, a)
+	if len(a) < f.words {
+		panic("gf2m: uninitialized element")
+	}
+	if f.words > maxWords {
+		return f.mulGeneric(dst, a, a)
+	}
+	n := f.words
+	var acc [2 * maxWords]uint64
+	for i := 0; i < n; i++ {
+		w := a[i]
+		acc[2*i] = spread32(uint32(w))
+		acc[2*i+1] = spread32(uint32(w >> 32))
+	}
+	f.reduceWide(acc[:2*n])
+	copy(dst, acc[:n])
+	return dst
 }
 
 // Inv returns a⁻¹ mod f using the binary extended Euclidean algorithm

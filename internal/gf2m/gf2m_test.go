@@ -196,6 +196,97 @@ func TestBitRoundTrip(t *testing.T) {
 	}
 }
 
+func TestMulMatchesGeneric(t *testing.T) {
+	// The comb multiplier and table squaring must agree with the
+	// bit-serial reference on every field, including edge patterns
+	// (all-ones, single top bit) that stress the reduction fold.
+	for _, f := range testFields {
+		rng := xrand.New(uint64(37 + f.M))
+		cases := make([][2]Elem, 0, 40)
+		for i := 0; i < 32; i++ {
+			cases = append(cases, [2]Elem{f.Rand(rng), f.Rand(rng)})
+		}
+		ones := f.NewElem()
+		for i := range ones {
+			ones[i] = ^uint64(0)
+		}
+		f.mask(ones)
+		top := f.NewElem()
+		top.SetBit(f.M-1, 1)
+		cases = append(cases,
+			[2]Elem{ones, ones.Clone()},
+			[2]Elem{top, top.Clone()},
+			[2]Elem{ones, top.Clone()},
+			[2]Elem{f.One(), f.Rand(rng)},
+			[2]Elem{f.NewElem(), f.Rand(rng)},
+		)
+		for _, c := range cases {
+			a, b := c[0], c[1]
+			fast, ref := f.NewElem(), f.NewElem()
+			f.Mul(fast, a, b)
+			f.mulGeneric(ref, a, b)
+			if !fast.Equal(ref) {
+				t.Fatalf("m=%d: Mul(%v, %v) = %v, reference %v", f.M, a, b, fast, ref)
+			}
+			f.Sqr(fast, a)
+			f.mulGeneric(ref, a, a)
+			if !fast.Equal(ref) {
+				t.Fatalf("m=%d: Sqr(%v) = %v, reference %v", f.M, a, fast, ref)
+			}
+		}
+	}
+}
+
+func TestMulAliasing(t *testing.T) {
+	for _, f := range testFields {
+		rng := xrand.New(uint64(41 + f.M))
+		a, b := f.Rand(rng), f.Rand(rng)
+		want := f.NewElem()
+		f.Mul(want, a, b)
+		gotA := a.Clone()
+		f.Mul(gotA, gotA, b)
+		if !gotA.Equal(want) {
+			t.Fatalf("m=%d: dst aliasing a broke Mul", f.M)
+		}
+		gotB := b.Clone()
+		f.Mul(gotB, a, gotB)
+		if !gotB.Equal(want) {
+			t.Fatalf("m=%d: dst aliasing b broke Mul", f.M)
+		}
+		sq := a.Clone()
+		f.Sqr(sq, sq)
+		wantSq := f.NewElem()
+		f.Sqr(wantSq, a)
+		if !sq.Equal(wantSq) {
+			t.Fatalf("m=%d: dst aliasing a broke Sqr", f.M)
+		}
+	}
+}
+
+func BenchmarkMulSect163(b *testing.B) {
+	f := NewField(Sect163Poly)
+	rng := xrand.New(1)
+	x, y := f.Rand(rng), f.Rand(rng)
+	out := f.NewElem()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Mul(out, x, y)
+	}
+}
+
+func BenchmarkSqrSect163(b *testing.B) {
+	f := NewField(Sect163Poly)
+	rng := xrand.New(2)
+	x := f.Rand(rng)
+	out := f.NewElem()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Sqr(out, x)
+	}
+}
+
 func TestDegree(t *testing.T) {
 	f := NewField(Sect163Poly)
 	e := f.NewElem()

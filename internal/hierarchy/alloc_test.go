@@ -1,0 +1,51 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"repro/internal/defense"
+	"repro/internal/memory"
+)
+
+// TestRecycledAccessAllocs pins the steady-state allocation count of the
+// simulation hot path at zero: once a host has been built and recycled
+// with Reset (the host-pool trial contract), a demand access must not
+// touch the heap — not through the flat cache arrays, not through the
+// event queue, not through the lazy background-tenant sync, and not
+// through any defense hook. A drift here is what the benchmark gate in
+// CI catches only indirectly; this test names the culprit directly.
+func TestRecycledAccessAllocs(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"quiet", quietScaled()},
+		{"cloud-noise", Scaled(4).WithCloudNoise()},
+		{"defended-randomize", Scaled(4).WithCloudNoise().WithDefense(defense.Spec{Model: "randomize", Period: 5000})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHost(tc.cfg, 15)
+			a := h.NewAgent(0)
+			buf := a.Alloc(64)
+			addrs := make([]memory.VAddr, 256)
+			for i := range addrs {
+				addrs[i] = buf.LineAt(i%64, uint64(i/64)*memory.LineSize)
+			}
+			// Dirty the host, then recycle it: the contract under test
+			// is the per-access cost of a *reused* trial host.
+			for _, va := range addrs {
+				a.Access(va)
+			}
+			h.Reset(99)
+			i := 0
+			avg := testing.AllocsPerRun(2000, func() {
+				a.Access(addrs[i%len(addrs)])
+				i++
+			})
+			if avg != 0 {
+				t.Fatalf("%s: %v allocs per recycled-trial access, want 0", tc.name, avg)
+			}
+		})
+	}
+}

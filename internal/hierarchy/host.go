@@ -49,9 +49,13 @@ type Host struct {
 	tenants  []tenantState  // background workload models, in spec order
 
 	// def is the LLC countermeasure model (nil = undefended);
-	// defSplit caches its way-partition boundary (0 = none).
+	// defSplit caches its way-partition boundary (0 = none) and
+	// defHooks which per-access hooks the model actually needs, both
+	// resolved once at build time so the access path skips virtual
+	// calls that are guaranteed identities/no-ops.
 	def      defense.Model
 	defSplit int
+	defHooks defense.Hooks
 
 	sched eventQueue // scheduled external (victim) accesses
 
@@ -61,10 +65,15 @@ type Host struct {
 }
 
 // tenantState pairs one background tenant model with its per-access
-// LLC-install probability.
+// LLC-install probability. For memoryless (poisson) models the
+// per-cycle rate is captured at build time so the sync loop can draw
+// the window count directly from the host rng — same expression, same
+// draw — without an interface call.
 type tenantState struct {
-	model   tenant.Model
-	llcProb float64
+	model      tenant.Model
+	llcProb    float64
+	memoryless bool
+	perCycle   float64
 }
 
 // tenantSeedSalt decorrelates tenant-model seeds from every other use
@@ -98,14 +107,24 @@ func buildTenants(cfg Config) []tenantState {
 			// LLCProb is literal on a directly constructed Spec (only the
 			// Parse/ParseList syntaxes default an absent key to 0.5), so a
 			// sparse spec's zero genuinely means "never installs in the LLC".
-			ts[i] = tenantState{model: m, llcProb: sp.LLCProb}
+			ts[i] = compileTenant(m, sp.LLCProb)
 		}
 		return ts
 	}
 	if cfg.NoiseRate > 0 {
-		return []tenantState{{model: tenant.NewPoisson(cfg.NoiseRate), llcProb: cfg.NoiseLLCProb}}
+		return []tenantState{compileTenant(tenant.NewPoisson(cfg.NoiseRate), cfg.NoiseLLCProb)}
 	}
 	return nil
+}
+
+// compileTenant resolves a model's fast-path kind once, at build time.
+func compileTenant(m tenant.Model, llcProb float64) tenantState {
+	ts := tenantState{model: m, llcProb: llcProb}
+	if ml, ok := m.(tenant.Memoryless); ok {
+		ts.memoryless = true
+		ts.perCycle = ml.PerCycleRate()
+	}
+	return ts
 }
 
 // defenseSeedSalt decorrelates the defense-model seed from every other
@@ -152,6 +171,7 @@ func NewHost(cfg Config, seed uint64) *Host {
 	if h.def != nil {
 		h.def.Reset(defenseSeed(seed))
 		h.defSplit = h.def.PartitionWays()
+		h.defHooks = defense.HooksOf(h.def)
 	}
 	h.clk = clock.New(cfg.TimerJitter, rng.Split())
 	polRng := rng.Split()
@@ -273,7 +293,7 @@ func domainOf(coreID int) defense.Domain {
 // one is configured (keyed randomization, per-domain skew).
 func (h *Host) setFor(d defense.Domain, pa memory.PAddr) SetID {
 	s := SetID{Slice: h.hash.Slice(pa), Index: h.llcIndex(pa)}
-	if h.def != nil {
+	if h.defHooks.Index {
 		s.Index = h.def.Index(d, uint64(pa.Line()), s.Slice, s.Index, h.cfg.LLCSets)
 	}
 	return s
@@ -300,7 +320,7 @@ func (h *Host) region(d defense.Domain) int {
 // observe filters one attacker-visible timing measurement through the
 // defense's measurement hook (quantization, added jitter).
 func (h *Host) observe(measured float64) float64 {
-	if h.def == nil {
+	if !h.defHooks.Observe {
 		return measured
 	}
 	return h.def.Observe(h.rng, measured)
@@ -340,10 +360,18 @@ func (h *Host) syncNoise(set SetID) {
 	if len(h.tenants) == 0 {
 		return
 	}
-	ref := tenant.Set{Slot: slot, Total: h.cfg.Slices * h.cfg.LLCSets}
+	window := float64(now - last)
 	for i := range h.tenants {
 		bt := &h.tenants[i]
-		n := bt.model.Accesses(h.rng, ref, last, now)
+		var n int
+		if bt.memoryless {
+			// Devirtualized poisson path: the exact expression the model's
+			// Accesses would evaluate, drawn from the same rng.
+			n = h.rng.Poisson(window * bt.perCycle)
+		} else {
+			ref := tenant.Set{Slot: slot, Total: h.cfg.Slices * h.cfg.LLCSets}
+			n = bt.model.Accesses(h.rng, ref, last, now)
+		}
 		for j := 0; j < n; j++ {
 			h.noiseAccess(set, bt.llcProb)
 		}
@@ -449,7 +477,7 @@ func (h *Host) accessState(coreID int, pa memory.PAddr) accessResult {
 	tag := cache.Tag(pa.Line())
 	c := &h.cores[coreID]
 	dom := domainOf(coreID)
-	if h.def != nil {
+	if h.defHooks.Tick {
 		// One tick per demand access advances defense epoch state (e.g.
 		// the randomize model's rekey counter).
 		h.def.Tick()

@@ -1,8 +1,6 @@
 package hierarchy
 
 import (
-	"container/heap"
-
 	"repro/internal/cache"
 	"repro/internal/clock"
 	"repro/internal/memory"
@@ -27,27 +25,69 @@ type Event struct {
 	Done func(t clock.Cycles)
 }
 
+// eventQueue is a binary min-heap ordered by Event.Time. The sift
+// routines replicate container/heap's up/down exactly — pop order for
+// equal-time events is part of the determinism contract — but operate on
+// Event values directly, avoiding the interface{} boxing (one heap
+// allocation per event) the stdlib API imposes.
 type eventQueue struct {
 	events   []Event
 	draining bool
 }
 
 func (q *eventQueue) Len() int           { return len(q.events) }
-func (q *eventQueue) Less(i, j int) bool { return q.events[i].Time < q.events[j].Time }
-func (q *eventQueue) Swap(i, j int)      { q.events[i], q.events[j] = q.events[j], q.events[i] }
-func (q *eventQueue) Push(x interface{}) { q.events = append(q.events, x.(Event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := q.events
-	n := len(old)
-	e := old[n-1]
-	q.events = old[:n-1]
+func (q *eventQueue) less(i, j int) bool { return q.events[i].Time < q.events[j].Time }
+func (q *eventQueue) swap(i, j int)      { q.events[i], q.events[j] = q.events[j], q.events[i] }
+
+func (q *eventQueue) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !q.less(j, i) {
+			break
+		}
+		q.swap(i, j)
+		j = i
+	}
+}
+
+func (q *eventQueue) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && q.less(j2, j1) {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !q.less(j, i) {
+			break
+		}
+		q.swap(i, j)
+		i = j
+	}
+}
+
+func (q *eventQueue) push(e Event) {
+	q.events = append(q.events, e)
+	q.up(len(q.events) - 1)
+}
+
+func (q *eventQueue) popMin() Event {
+	n := len(q.events) - 1
+	q.swap(0, n)
+	q.down(0, n)
+	e := q.events[n]
+	q.events[n].Done = nil // release the callback for the collector
+	q.events = q.events[:n]
 	return e
 }
 
 // Schedule enqueues an external access at an absolute time. Events in the
 // past (relative to the current clock) are applied at the next drain.
 func (h *Host) Schedule(e Event) {
-	heap.Push(&h.sched, e)
+	h.sched.push(e)
 }
 
 // ScheduledLen returns the number of pending scheduled events.
@@ -61,13 +101,13 @@ func (h *Host) ClearScheduled() { h.sched.events = h.sched.events[:0] }
 // It re-enters accessState, so a guard prevents recursion: events applied
 // while draining do not recursively drain.
 func (h *Host) drainScheduled() {
-	if h.sched.draining {
+	if h.sched.draining || len(h.sched.events) == 0 {
 		return
 	}
 	h.sched.draining = true
 	now := h.clk.Now()
 	for h.sched.Len() > 0 && h.sched.events[0].Time <= now {
-		e := heap.Pop(&h.sched).(Event)
+		e := h.sched.popMin()
 		if e.Refetch {
 			h.dropPrivate(e.Core, e.PA)
 		}

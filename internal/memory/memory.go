@@ -115,23 +115,32 @@ func (h *Host) allocFrame() uint64 {
 	return f
 }
 
+// vaBase is the first virtual page number handed out by every address
+// space (a typical mmap-ish base). Pages are bump-allocated upward from
+// it, so vpn-vaBase densely indexes the page table below.
+const vaBase = 0x5600_0000_0000 >> PageBits
+
 // AddressSpace is one process's (container's) virtual address space with
 // demand-populated, randomly backed pages.
+//
+// The page table is a flat slice indexed by vpn-vaBase rather than a map:
+// Map only ever bump-allocates contiguous ranges (with one-page guard
+// gaps), so the table is dense and Translate — the single hottest
+// per-access operation in the simulator — is an indexed load instead of a
+// hash lookup. Entries store frame+1; 0 marks an unmapped (or guard)
+// page.
 type AddressSpace struct {
 	host     *Host
-	pages    map[uint64]uint64 // virtual page number -> physical frame
-	nextPage uint64            // bump allocator for fresh virtual pages
+	table    []uint64 // vpn-vaBase -> frame+1 (0 = unmapped)
+	mapped   int      // number of mapped pages
+	nextPage uint64   // bump allocator for fresh virtual pages
 }
 
 // NewAddressSpace creates an empty address space on the host. The base
 // virtual page is offset per address space so that different processes
 // use disjoint VA ranges (useful for debugging traces).
 func NewAddressSpace(h *Host) *AddressSpace {
-	return &AddressSpace{
-		host:     h,
-		pages:    make(map[uint64]uint64),
-		nextPage: 0x5600_0000_0000 >> PageBits, // typical mmap-ish base
-	}
+	return &AddressSpace{host: h, nextPage: vaBase}
 }
 
 // Map allocates n fresh contiguous virtual pages backed by random physical
@@ -142,30 +151,32 @@ func (as *AddressSpace) Map(n int) VAddr {
 	}
 	base := as.nextPage
 	for i := 0; i < n; i++ {
-		as.pages[base+uint64(i)] = as.host.allocFrame()
+		as.table = append(as.table, as.host.allocFrame()+1)
 	}
-	as.nextPage += uint64(n) + 1 // leave a guard page gap
+	as.table = append(as.table, 0) // guard page gap
+	as.mapped += n
+	as.nextPage += uint64(n) + 1
 	return VAddr(base << PageBits)
 }
 
 // Translate converts a virtual address to its physical address. It panics
 // on an unmapped page — the simulation equivalent of a segfault.
 func (as *AddressSpace) Translate(v VAddr) PAddr {
-	frame, ok := as.pages[v.PageNumber()]
-	if !ok {
+	idx := v.PageNumber() - vaBase
+	if idx >= uint64(len(as.table)) || as.table[idx] == 0 {
 		panic(fmt.Sprintf("memory: access to unmapped page at %#x", uint64(v)))
 	}
-	return PAddr(frame<<PageBits | v.PageOffset())
+	return PAddr((as.table[idx]-1)<<PageBits | v.PageOffset())
 }
 
 // Mapped reports whether the page containing v is mapped.
 func (as *AddressSpace) Mapped(v VAddr) bool {
-	_, ok := as.pages[v.PageNumber()]
-	return ok
+	idx := v.PageNumber() - vaBase
+	return idx < uint64(len(as.table)) && as.table[idx] != 0
 }
 
 // PageCount returns the number of mapped pages.
-func (as *AddressSpace) PageCount() int { return len(as.pages) }
+func (as *AddressSpace) PageCount() int { return as.mapped }
 
 // Buffer is a convenience wrapper representing a contiguous virtual
 // allocation used for candidate addresses.

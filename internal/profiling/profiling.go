@@ -1,0 +1,54 @@
+// Package profiling wires the standard runtime/pprof collectors behind
+// the -cpuprofile/-memprofile flags of the CLIs (cmd/llcattack,
+// cmd/llcsweep), so the simulation hot path can be profiled on a real
+// workload without writing a throwaway harness. Profiles cover only the
+// run region the caller brackets — flag parsing and report writing stay
+// outside — and never touch the report streams, so profiling cannot
+// perturb byte-identical output.
+package profiling
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuFile when it is non-empty. The
+// returned stop function ends the CPU profile and, when memFile is
+// non-empty, writes a post-GC heap profile there; call it exactly once
+// after the timed region. Either path may be empty to skip that profile,
+// so callers can pass the flag values through unconditionally.
+func Start(cpuFile, memFile string) (stop func() error, err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return err
+			}
+		}
+		if memFile == "" {
+			return nil
+		}
+		runtime.GC() // drop unreachable heap so the profile shows live bytes
+		f, err := os.Create(memFile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}, nil
+}

@@ -31,6 +31,10 @@ func NewPoisson(ratePerCycle float64) Model {
 
 func (p *poisson) Reset(uint64) {}
 
+// PerCycleRate implements Memoryless: the hierarchy may inline the
+// per-window draw at this rate instead of calling Accesses.
+func (p *poisson) PerCycleRate() float64 { return p.perCycle }
+
 func (p *poisson) Accesses(rng *xrand.Rand, _ Set, last, now clock.Cycles) int {
 	// Mirrors the legacy syncNoise expression exactly: window * rate.
 	return rng.Poisson(float64(now-last) * p.perCycle)

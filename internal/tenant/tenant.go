@@ -78,6 +78,20 @@ type Model interface {
 	Reset(seed uint64)
 }
 
+// Memoryless is implemented by models whose per-window access count is
+// a single Poisson draw at a fixed per-cycle rate, independent of the
+// set identity and of any schedule state. The hierarchy's sync loop uses
+// it to devirtualize the common case: at host-build time it captures the
+// rate and inlines the draw (rng.Poisson(window*rate)) instead of
+// calling through the Model interface per window. The inlined expression
+// must match Accesses exactly — same rng, same float arithmetic — so
+// devirtualization cannot move a single drawn bit.
+type Memoryless interface {
+	Model
+	// PerCycleRate returns the fixed per-cycle access rate.
+	PerCycleRate() float64
+}
+
 // modelInfo is one registry entry.
 type modelInfo struct {
 	name  string

@@ -429,3 +429,34 @@ func TestChurnStructure(t *testing.T) {
 		t.Errorf("churn tenant not phased: %d silent, %d active windows", silent, active)
 	}
 }
+
+// TestMemorylessMatchesAccesses pins the devirtualization contract: for
+// a model advertising Memoryless, the inlined expression the hierarchy
+// uses (rng.Poisson(window*rate)) must reproduce Accesses draw-for-draw
+// on a lockstep rng, leaving both streams in identical states.
+func TestMemorylessMatchesAccesses(t *testing.T) {
+	m, err := Spec{Model: "poisson", Rate: 11.5}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, ok := m.(Memoryless)
+	if !ok {
+		t.Fatal("poisson model does not advertise Memoryless")
+	}
+	rate := ml.PerCycleRate()
+	a, b := xrand.New(91), xrand.New(91)
+	last := clock.Cycles(0)
+	windows := xrand.New(17)
+	for i := 0; i < 5000; i++ {
+		now := last + clock.Cycles(1+windows.Uint64()%100_000)
+		want := m.Accesses(a, Set{Slot: int(windows.Uint64() % 512), Total: 512}, last, now)
+		got := b.Poisson(float64(now-last) * rate)
+		if got != want {
+			t.Fatalf("window %d: inlined draw %d != Accesses %d", i, got, want)
+		}
+		last = now
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("inlined path left the rng stream in a different state")
+	}
+}

@@ -16,6 +16,45 @@ import (
 // sharing one Rand across goroutines.
 type Rand struct {
 	s [4]uint64
+
+	// expMemo caches exp(-mean) for Poisson. The simulation draws Poisson
+	// counts with a small set of recurring means (per-set noise windows are
+	// quantized to integer cycle counts times a fixed rate), so a tiny
+	// direct-mapped memo removes the math.Exp call from the hot path
+	// without changing a single output: exp is a pure function of the mean.
+	// The memo is lazily allocated on the first Poisson draw and survives
+	// Seed — it holds no stream state.
+	expMemo *expMemo
+}
+
+// expMemoSize is the number of direct-mapped exp(-mean) memo slots. Must
+// be a power of two.
+const expMemoSize = 256
+
+// expMemo is a direct-mapped cache from math.Float64bits(mean) to
+// exp(-mean). A zero key marks an empty slot (mean 0 never reaches the
+// memo: Poisson returns early for mean <= 0).
+type expMemo struct {
+	keys [expMemoSize]uint64
+	vals [expMemoSize]float64
+}
+
+// expNeg returns exp(-mean) through the memo.
+func (r *Rand) expNeg(mean float64) float64 {
+	m := r.expMemo
+	if m == nil {
+		m = &expMemo{}
+		r.expMemo = m
+	}
+	k := math.Float64bits(mean)
+	idx := (k * 0x9e3779b97f4a7c15) >> (64 - 8) // fibonacci hash to 8 bits
+	if m.keys[idx] == k {
+		return m.vals[idx]
+	}
+	v := math.Exp(-mean)
+	m.keys[idx] = k
+	m.vals[idx] = v
+	return v
 }
 
 // splitmix64 advances the 64-bit state and returns the next output. It is
@@ -164,7 +203,7 @@ func (r *Rand) Poisson(mean float64) int {
 		}
 		return int(v + 0.5)
 	}
-	l := math.Exp(-mean)
+	l := r.expNeg(mean)
 	k := 0
 	p := 1.0
 	for {

@@ -193,3 +193,70 @@ func TestStreamIsSplitmixSequence(t *testing.T) {
 		t.Fatalf("Stream collided: %d distinct of 1000", len(seen))
 	}
 }
+
+// poissonRef is the pre-memo Poisson implementation: identical algorithm,
+// but always calling math.Exp. The memoized hot path must reproduce its
+// draws bit-for-bit — the memo may only skip recomputing a pure function.
+func poissonRef(r *Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		v := r.Norm(mean, math.Sqrt(mean))
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func TestPoissonExpMemoExactness(t *testing.T) {
+	// Interleave recurring and fresh means (memo hits, misses and slot
+	// evictions) and check counts and stream state match the reference on
+	// two generators advancing in lockstep.
+	a, b := New(42), New(42)
+	meanSrc := New(7)
+	recurring := []float64{0.001, 0.575, 3.25, 70.5, 64.0001}
+	for i := 0; i < 20000; i++ {
+		var mean float64
+		switch {
+		case i%3 == 0:
+			mean = recurring[i%len(recurring)]
+		case i%3 == 1:
+			mean = meanSrc.Float64() * 10
+		default:
+			mean = meanSrc.Float64() * 100 // exercises the Norm branch too
+		}
+		got, want := a.Poisson(mean), poissonRef(b, mean)
+		if got != want {
+			t.Fatalf("draw %d (mean %g): memoized Poisson = %d, reference = %d", i, mean, got, want)
+		}
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("memoized Poisson desynchronized the generator stream")
+	}
+}
+
+func TestPoissonMemoSurvivesSeed(t *testing.T) {
+	// Seed re-derives stream state but must not invalidate memo
+	// correctness: the memo is keyed on the mean alone.
+	r := New(1)
+	r.Poisson(2.5)
+	r.Seed(99)
+	fresh := New(99)
+	for i := 0; i < 100; i++ {
+		if got, want := r.Poisson(2.5), fresh.Poisson(2.5); got != want {
+			t.Fatalf("draw %d after Seed: got %d, want %d", i, got, want)
+		}
+	}
+}

@@ -4,11 +4,12 @@
 # Fails when:
 #   1. gofmt would reformat any file;
 #   2. go vet reports anything;
-#   3. any internal/ package lacks a real package comment
-#      ("// Package <name> ..." above the package clause);
-#   4. any exported top-level symbol in internal/tenant or
-#      internal/defense (func, method, type, var, const) has no doc
-#      comment.
+#   3. any internal/ package (nested ones included) lacks a real
+#      package comment ("// Package <name> ..." above the package
+#      clause);
+#   4. any exported top-level symbol in internal/tenant,
+#      internal/defense or internal/cache/model (func, method, type,
+#      var, const) has no doc comment.
 #
 # Exit codes: 0 = clean, 1 = lint findings, 2 = harness error.
 set -u
@@ -26,10 +27,11 @@ if ! go vet ./...; then
     fail=1
 fi
 
-for d in internal/*/; do
+for d in internal/*/ internal/*/*/; do
+    ls "$d"*.go >/dev/null 2>&1 || continue # no Go files (e.g. testdata)
     pkg=$(basename "$d")
     if ! grep -q "^// Package $pkg" "$d"*.go; then
-        echo "doclint: internal/$pkg has no package comment" >&2
+        echo "doclint: ${d%/} has no package comment" >&2
         fail=1
     fi
 done
@@ -37,7 +39,7 @@ done
 # Exported-symbol doc audit for the declarative model registries:
 # every top-level exported declaration must be immediately preceded by
 # a comment line.
-for f in internal/tenant/*.go internal/defense/*.go internal/specstr/*.go; do
+for f in internal/tenant/*.go internal/defense/*.go internal/specstr/*.go internal/cache/model/*.go; do
     case "$f" in *_test.go) continue ;; esac
     awk -v file="$f" '
         # Top-level exported funcs/types/vars/consts, and exported
