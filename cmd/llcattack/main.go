@@ -17,12 +17,15 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/defense"
@@ -32,12 +35,19 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// SIGINT/SIGTERM cancel the run context: the scenario stops on the
+	// next trial boundary, the temp report is removed, and the process
+	// exits non-zero — no .tmp-* litter, no truncated report. A second
+	// signal kills the process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run is main with its streams and exit code surfaced, so the golden
 // and determinism tests can execute the CLI in-process.
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("llcattack", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -133,7 +143,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	start := time.Now()
-	rep, err := scenario.RunWith(*id, specs, defSpec, *trials, *parallel, *seed)
+	rep, err := scenario.RunWith(ctx, *id, specs, defSpec, *trials, *parallel, *seed)
 	if perr := stopProf(); err == nil {
 		err = perr
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"os"
@@ -30,7 +31,7 @@ func TestKeyRecoveryGolden(t *testing.T) {
 
 	for _, workers := range []int{1, 8} {
 		var stdout, stderr bytes.Buffer
-		if code := run(append(args, "-parallel", strconv.Itoa(workers)), &stdout, &stderr); code != 0 {
+		if code := run(context.Background(), append(args, "-parallel", strconv.Itoa(workers)), &stdout, &stderr); code != 0 {
 			t.Fatalf("run exited %d: %s", code, stderr.String())
 		}
 		if *update && workers == 1 {
@@ -89,7 +90,7 @@ func TestStreamTenantGolden(t *testing.T) {
 
 	for _, workers := range []int{1, 8} {
 		var stdout, stderr bytes.Buffer
-		if code := run(append(args, "-parallel", strconv.Itoa(workers)), &stdout, &stderr); code != 0 {
+		if code := run(context.Background(), append(args, "-parallel", strconv.Itoa(workers)), &stdout, &stderr); code != 0 {
 			t.Fatalf("run exited %d: %s", code, stderr.String())
 		}
 		if *update && workers == 1 {
@@ -122,7 +123,7 @@ func TestQuiesceDefenseGolden(t *testing.T) {
 
 	for _, workers := range []int{1, 8} {
 		var stdout, stderr bytes.Buffer
-		if code := run(append(args, "-parallel", strconv.Itoa(workers)), &stdout, &stderr); code != 0 {
+		if code := run(context.Background(), append(args, "-parallel", strconv.Itoa(workers)), &stdout, &stderr); code != 0 {
 			t.Fatalf("run exited %d: %s", code, stderr.String())
 		}
 		if *update && workers == 1 {
@@ -167,20 +168,20 @@ func TestQuiesceDefenseGolden(t *testing.T) {
 // fails geometry validation is a graceful error, not a panic.
 func TestDefenseFlag(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-scenario", "scan/psd", "-defense", "moat"}, &stdout, &stderr); code != 2 {
+	if code := run(context.Background(), []string{"-scenario", "scan/psd", "-defense", "moat"}, &stdout, &stderr); code != 2 {
 		t.Errorf("bad defense spec: exit %d, want 2", code)
 	}
 	stdout.Reset()
 	stderr.Reset()
 	// partition:ways=7 equals the scaled host's LLC associativity: the
 	// geometry cross-check must reject it without panicking.
-	if code := run([]string{"-scenario", "scan/psd", "-trials", "1", "-seed", "4",
+	if code := run(context.Background(), []string{"-scenario", "scan/psd", "-trials", "1", "-seed", "4",
 		"-defense", "partition:ways=7"}, &stdout, &stderr); code != 1 {
 		t.Errorf("invalid partition geometry: exit %d, want 1 (stderr %q)", code, stderr.String())
 	}
 	stdout.Reset()
 	stderr.Reset()
-	code := run([]string{"-scenario", "covert/channel", "-trials", "1", "-seed", "4",
+	code := run(context.Background(), []string{"-scenario", "covert/channel", "-trials", "1", "-seed", "4",
 		"-defense", "quiesce:quantum=128"}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("defense override run exited %d: %s", code, stderr.String())
@@ -203,12 +204,12 @@ func TestDefenseFlag(t *testing.T) {
 // usage error; a good spec is recorded in the report.
 func TestTenantsFlag(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-scenario", "scan/psd", "-tenants", "warp:rate=1"}, &stdout, &stderr); code != 2 {
+	if code := run(context.Background(), []string{"-scenario", "scan/psd", "-tenants", "warp:rate=1"}, &stdout, &stderr); code != 2 {
 		t.Errorf("bad tenant spec: exit %d, want 2", code)
 	}
 	stdout.Reset()
 	stderr.Reset()
-	code := run([]string{"-scenario", "covert/channel", "-trials", "1", "-seed", "4",
+	code := run(context.Background(), []string{"-scenario", "covert/channel", "-trials", "1", "-seed", "4",
 		"-tenants", "burst:rate=34.5,on_frac=0.2"}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("tenant override run exited %d: %s", code, stderr.String())
@@ -229,17 +230,17 @@ func TestTenantsFlag(t *testing.T) {
 
 func TestRunBadArgs(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run(nil, &stdout, &stderr); code != 2 {
+	if code := run(context.Background(), nil, &stdout, &stderr); code != 2 {
 		t.Errorf("no args: exit %d, want 2", code)
 	}
-	if code := run([]string{"-scenario", "nope"}, &stdout, &stderr); code != 2 {
+	if code := run(context.Background(), []string{"-scenario", "nope"}, &stdout, &stderr); code != 2 {
 		t.Errorf("unknown scenario: exit %d, want 2", code)
 	}
-	if code := run([]string{"-scenario", "scan/psd", "-trials", "0"}, &stdout, &stderr); code != 2 {
+	if code := run(context.Background(), []string{"-scenario", "scan/psd", "-trials", "0"}, &stdout, &stderr); code != 2 {
 		t.Errorf("zero trials: exit %d, want 2", code)
 	}
 	stdout.Reset()
-	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 || stdout.Len() == 0 {
+	if code := run(context.Background(), []string{"-list"}, &stdout, &stderr); code != 0 || stdout.Len() == 0 {
 		t.Errorf("-list: exit %d, output %q", code, stdout.String())
 	}
 }

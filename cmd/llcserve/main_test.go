@@ -1,0 +1,395 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/sweep"
+)
+
+// tinySpec is a fast 4-cell grid; its artifact doubles as the
+// byte-identity reference (sweep.Run must produce the same JSON).
+func tinySpec() sweep.Spec {
+	return sweep.Spec{
+		Experiments: []string{"evset/bins", "probe/parallel"},
+		Policies:    []string{"LRU", "QLRU"},
+		Trials:      3,
+		Seed:        7,
+	}
+}
+
+// slowSpec is a 4-cell grid where each cell takes long enough (~1s)
+// that a test can reliably cancel between cells.
+func slowSpec() sweep.Spec {
+	return sweep.Spec{
+		Experiments: []string{"probe/parallel"},
+		Policies:    []string{"LRU", "QLRU", "SRRIP", "Random"},
+		Trials:      400,
+		Seed:        3,
+	}
+}
+
+func startServer(t *testing.T, dir string) (*server, *httptest.Server, context.CancelFunc) {
+	t.Helper()
+	s, err := newServer(dir, 1)
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.start(ctx)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(func() {
+		ts.Close()
+		cancel()
+		s.wait()
+	})
+	return s, ts, cancel
+}
+
+func postSpec(t *testing.T, ts *httptest.Server, spec sweep.Spec) (int, job) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("marshal spec: %v", err)
+	}
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	var j job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatalf("decoding job: %v", err)
+	}
+	return resp.StatusCode, j
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) job {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET job: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job: status %d", resp.StatusCode)
+	}
+	var j job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatalf("decoding status: %v", err)
+	}
+	return j
+}
+
+// waitState polls the status endpoint until pred holds or the deadline
+// passes.
+func waitState(t *testing.T, ts *httptest.Server, id string, what string, pred func(job) bool) job {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		j := getStatus(t, ts, id)
+		if pred(j) {
+			return j
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached %s; last: %s %d/%d (%s)", id, what, j.State, j.Done, j.Total, j.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestSubmitRunResult(t *testing.T) {
+	_, ts, _ := startServer(t, t.TempDir())
+	spec := tinySpec()
+
+	code, j := postSpec(t, ts, spec)
+	if code != http.StatusCreated {
+		t.Fatalf("submit: status %d, want 201", code)
+	}
+	if j.ID != jobID(specNormalized(spec)) || j.Total != 4 {
+		t.Fatalf("job = %+v", j)
+	}
+	done := waitState(t, ts, j.ID, "done", func(j job) bool { return j.State == stateDone })
+	if done.Done != 4 || done.Error != "" {
+		t.Fatalf("done job = %+v", done)
+	}
+
+	// Resubmitting the identical spec attaches idempotently.
+	code, j2 := postSpec(t, ts, spec)
+	if code != http.StatusOK || j2.ID != j.ID || j2.State != stateDone {
+		t.Fatalf("resubmit: status %d job %+v", code, j2)
+	}
+
+	// The served artifact must be byte-identical to the flattened
+	// sweep.Run path — the campaign layer's central contract.
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + j.ID + "/result")
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	var got bytes.Buffer
+	if _, err := got.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("reading result: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET result: status %d: %s", resp.StatusCode, got.String())
+	}
+	res, err := sweep.Run(context.Background(), spec, 1)
+	if err != nil {
+		t.Fatalf("reference sweep: %v", err)
+	}
+	var want bytes.Buffer
+	if err := res.WriteJSON(&want); err != nil {
+		t.Fatalf("encoding reference: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("served artifact differs from sweep.Run artifact")
+	}
+}
+
+func specNormalized(spec sweep.Spec) sweep.Spec {
+	spec.Normalize()
+	return spec
+}
+
+func TestEventsStreamBacklogAndCounts(t *testing.T) {
+	_, ts, _ := startServer(t, t.TempDir())
+	_, j := postSpec(t, ts, tinySpec())
+	waitState(t, ts, j.ID, "done", func(j job) bool { return j.State == stateDone })
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + j.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events Content-Type = %q", ct)
+	}
+	var evs []campaign.Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev campaign.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad ndjson line %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, ev)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4: %+v", len(evs), evs)
+	}
+	for i, ev := range evs {
+		if ev.Done != i+1 || ev.Total != 4 || ev.Skipped {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+}
+
+func TestSubmitRejectsBadSpecs(t *testing.T) {
+	_, ts, _ := startServer(t, t.TempDir())
+	for _, body := range []string{
+		"{not json",
+		`{"unknown_field": 1}`,
+		`{"experiments": ["no/such/experiment"], "trials": 3}`,
+		`{"trials": -1}`,
+	} {
+		resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestUnknownJobIs404AndEarlyResultIs409(t *testing.T) {
+	_, ts, _ := startServer(t, t.TempDir())
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/deadbeefdeadbeef")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+
+	_, j := postSpec(t, ts, slowSpec())
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/" + j.ID + "/result")
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("result before done: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestCancelThenResubmitResumes is the durability round-trip: cancel a
+// running job after at least one cell checkpoints, resubmit the same
+// spec, and require the finished artifact byte-identical to an
+// uninterrupted run — with the resumed pass skipping verified cells.
+func TestCancelThenResubmitResumes(t *testing.T) {
+	_, ts, _ := startServer(t, t.TempDir())
+	spec := slowSpec()
+	code, j := postSpec(t, ts, spec)
+	if code != http.StatusCreated {
+		t.Fatalf("submit: status %d", code)
+	}
+	waitState(t, ts, j.ID, "first cell done", func(j job) bool { return j.Done >= 1 })
+
+	resp, err := http.Post(ts.URL+"/api/v1/jobs/"+j.ID+"/cancel", "", nil)
+	if err != nil {
+		t.Fatalf("POST cancel: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+	waitState(t, ts, j.ID, "cancelled", func(j job) bool { return j.State == stateCancelled })
+
+	// Cancelling a terminal job is refused.
+	resp, err = http.Post(ts.URL+"/api/v1/jobs/"+j.ID+"/cancel", "", nil)
+	if err != nil {
+		t.Fatalf("POST cancel: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second cancel: status %d, want 409", resp.StatusCode)
+	}
+
+	code, _ = postSpec(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit: status %d, want 202", code)
+	}
+	done := waitState(t, ts, j.ID, "done", func(j job) bool { return j.State == stateDone })
+	if done.Skip < 1 {
+		t.Fatalf("resumed run skipped %d cells, want >= 1", done.Skip)
+	}
+
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/" + j.ID + "/result")
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	var got bytes.Buffer
+	got.ReadFrom(resp.Body)
+	resp.Body.Close()
+	res, err := sweep.Run(context.Background(), spec, 0)
+	if err != nil {
+		t.Fatalf("reference sweep: %v", err)
+	}
+	var want bytes.Buffer
+	res.WriteJSON(&want)
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("resumed artifact differs from uninterrupted sweep artifact")
+	}
+}
+
+// TestDrainMarksInterruptedAndRestartResumes shuts the daemon down
+// mid-campaign and brings a new incarnation up on the same data
+// directory: the job must surface as interrupted, resubmit must
+// resume, and the artifact must match an uninterrupted run.
+func TestDrainMarksInterruptedAndRestartResumes(t *testing.T) {
+	dir := t.TempDir()
+	spec := slowSpec()
+
+	s1, err := newServer(dir, 1)
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	s1.start(ctx1)
+	ts1 := httptest.NewServer(s1.handler())
+	_, j := postSpec(t, ts1, spec)
+	waitState(t, ts1, j.ID, "first cell done", func(j job) bool { return j.Done >= 1 })
+	cancel1() // daemon drain: the campaign stops at the next trial boundary
+	s1.wait()
+	ts1.Close()
+
+	s2, ts2, _ := startServer(t, dir)
+	s2.mu.Lock()
+	j2, ok := s2.jobs[j.ID]
+	st := stateQueued
+	if ok {
+		st = j2.State
+	}
+	s2.mu.Unlock()
+	if !ok || st != stateInterrupted {
+		t.Fatalf("restarted server sees job as %v (ok=%v), want interrupted", st, ok)
+	}
+
+	code, _ := postSpec(t, ts2, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit after restart: status %d, want 202", code)
+	}
+	done := waitState(t, ts2, j.ID, "done", func(j job) bool { return j.State == stateDone })
+	if done.Skip < 1 {
+		t.Fatalf("restarted run skipped %d cells, want >= 1", done.Skip)
+	}
+
+	resp, err := http.Get(ts2.URL + "/api/v1/jobs/" + j.ID + "/result")
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	var got bytes.Buffer
+	got.ReadFrom(resp.Body)
+	resp.Body.Close()
+	res, err := sweep.Run(context.Background(), spec, 0)
+	if err != nil {
+		t.Fatalf("reference sweep: %v", err)
+	}
+	var want bytes.Buffer
+	res.WriteJSON(&want)
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("post-restart artifact differs from uninterrupted sweep artifact")
+	}
+
+	// A third incarnation over the finished directory lists it as done.
+	s3, err := newServer(dir, 1)
+	if err != nil {
+		t.Fatalf("newServer (third): %v", err)
+	}
+	s3.mu.Lock()
+	j3 := s3.jobs[j.ID]
+	s3.mu.Unlock()
+	if j3 == nil || j3.State != stateDone {
+		t.Fatalf("third incarnation sees %+v, want done", j3)
+	}
+}
+
+func TestListOrdersBySubmission(t *testing.T) {
+	_, ts, _ := startServer(t, t.TempDir())
+	a := tinySpec()
+	b := tinySpec()
+	b.Seed = 99 // different fingerprint
+	_, ja := postSpec(t, ts, a)
+	_, jb := postSpec(t, ts, b)
+	if ja.ID == jb.ID {
+		t.Fatalf("distinct specs share job ID %s", ja.ID)
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/jobs")
+	if err != nil {
+		t.Fatalf("GET /jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	var jobs []job
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		t.Fatalf("decoding list: %v", err)
+	}
+	if len(jobs) != 2 || jobs[0].ID != ja.ID || jobs[1].ID != jb.ID {
+		ids := make([]string, len(jobs))
+		for i, j := range jobs {
+			ids[i] = fmt.Sprintf("%s(%s)", j.ID, j.State)
+		}
+		t.Fatalf("list = %v, want [%s %s]", ids, ja.ID, jb.ID)
+	}
+}

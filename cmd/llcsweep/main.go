@@ -29,17 +29,22 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/artifact"
+	"repro/internal/campaign"
 	"repro/internal/defense"
 	"repro/internal/experiments"
 	"repro/internal/profiling"
@@ -52,10 +57,18 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// SIGINT/SIGTERM cancel the run context: the grid stops on the next
+	// trial boundary, the temp artifact is removed, checkpointed cells
+	// stay durable, and the process exits non-zero — no .tmp-* litter,
+	// no truncated artifact. A second signal kills the process outright
+	// (AfterFunc restores default signal disposition on the first one).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("llcsweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -72,6 +85,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel = fs.Int("parallel", 0, "trial workers (0 = GOMAXPROCS, 1 = sequential); never changes the artifact")
 		asCSV    = fs.Bool("csv", false, "emit CSV instead of JSON")
 		outFile  = fs.String("o", "", "write the artifact to a file instead of stdout")
+		ckptFile = fs.String("checkpoint", "", "binary cell-result log: append each completed cell so an interrupted grid can resume")
+		resume   = fs.Bool("resume", false, "with -checkpoint: reuse an existing log, skipping checksum-verified cells")
 		list     = fs.Bool("list", false, "list cell experiment ids")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep run to this file")
 		memProf  = fs.String("memprofile", "", "write a post-run pprof heap profile to this file")
@@ -170,6 +185,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "llcsweep: %v\n", err)
 		return 2
 	}
+	if *resume && *ckptFile == "" {
+		fmt.Fprintln(stderr, "llcsweep: -resume requires -checkpoint")
+		return 2
+	}
+
+	// Checkpoint log: open-or-create before the temp artifact so a bad
+	// checkpoint (wrong spec, unreadable path) fails before any compute.
+	// The log is bound to the spec's fingerprint: resuming under a
+	// different grid/seed/trial count is rejected, never silently mixed.
+	var ckpt *artifact.Log
+	if *ckptFile != "" {
+		fp := campaign.Fingerprint(spec)
+		if _, err := os.Stat(*ckptFile); err == nil {
+			if !*resume {
+				fmt.Fprintf(stderr, "llcsweep: checkpoint %s already exists; pass -resume to continue it\n", *ckptFile)
+				return 2
+			}
+			l, err := artifact.Open(*ckptFile, fp)
+			if err != nil {
+				fmt.Fprintf(stderr, "llcsweep: %v\n", err)
+				return 2
+			}
+			ckpt = l
+			if l.DroppedTail > 0 || l.DroppedDuplicates > 0 {
+				fmt.Fprintf(stderr, "llcsweep: resume: dropped %d unverified tail record(s) and %d duplicated cell(s); those cells re-run\n",
+					l.DroppedTail, l.DroppedDuplicates)
+			}
+		} else {
+			if *resume {
+				// Tolerated so kill/resume loops can use one command line;
+				// noted so a typo'd path does not pass silently.
+				fmt.Fprintf(stderr, "llcsweep: resume: checkpoint %s not found, starting fresh\n", *ckptFile)
+			}
+			l, err := artifact.Create(*ckptFile, fp)
+			if err != nil {
+				fmt.Fprintf(stderr, "llcsweep: %v\n", err)
+				return 2
+			}
+			ckpt = l
+		}
+		defer ckpt.Close()
+	}
 	// With -o, write to a temp file in the target directory and rename
 	// into place only on full success: creating it up front fails fast on
 	// an unwritable path (before hours of grid compute), and a sweep or
@@ -217,7 +274,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	start := time.Now()
-	res, err := sweep.Run(spec, *parallel)
+	var res *sweep.Result
+	if ckpt != nil {
+		// Campaign path: cells shard across workers and checkpoint as
+		// they complete. Progress lines go to stderr (the artifact stays
+		// byte-identical to the flattened sweep.Run path).
+		var stats *campaign.Stats
+		res, stats, err = campaign.Run(ctx, spec, campaign.Options{
+			Workers: *parallel,
+			Log:     ckpt,
+			OnCell: func(ev campaign.Event) {
+				if ev.Skipped {
+					return // summarised once below; grids can have many cells
+				}
+				fmt.Fprintf(stderr, "llcsweep: cell %d/%d done %s\n", ev.Done, ev.Total, ev.Coords)
+			},
+		})
+		if stats != nil && stats.Skipped > 0 {
+			fmt.Fprintf(stderr, "llcsweep: resume: skipped %d verified cell(s), ran %d of %d\n",
+				stats.Skipped, stats.Ran, stats.Cells)
+		}
+	} else {
+		res, err = sweep.Run(ctx, spec, *parallel)
+	}
 	if perr := stopProf(); err == nil {
 		err = perr
 	}

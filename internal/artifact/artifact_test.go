@@ -1,0 +1,273 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const fp = uint64(0xfeedc0dedeadbeef)
+
+func mustCreate(t *testing.T) (*Log, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cells.bin")
+	l, err := Create(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, path
+}
+
+func TestAppendGetRoundTrip(t *testing.T) {
+	l, path := mustCreate(t)
+	records := map[string][]byte{
+		"a|LRU|8":  {1, 2, 3},
+		"b|QLRU|6": {},
+		"c|SRRIP":  bytes.Repeat([]byte{0xab}, 1000),
+	}
+	for k, v := range records {
+		if err := l.Append(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != len(records) || re.DroppedTail != 0 || re.DroppedDuplicates != 0 {
+		t.Fatalf("reopen: len=%d droppedTail=%d droppedDup=%d", re.Len(), re.DroppedTail, re.DroppedDuplicates)
+	}
+	for k, v := range records {
+		got, ok := re.Get(k)
+		if !ok || !bytes.Equal(got, v) {
+			t.Fatalf("Get(%q) = %v, %v; want %v", k, got, ok, v)
+		}
+	}
+}
+
+func TestCreateRefusesExisting(t *testing.T) {
+	l, path := mustCreate(t)
+	l.Close()
+	if _, err := Create(path, fp); err == nil {
+		t.Fatal("Create over an existing log must fail")
+	}
+}
+
+func TestFingerprintMismatch(t *testing.T) {
+	l, path := mustCreate(t)
+	l.Close()
+	_, err := Open(path, fp+1)
+	var fe *ErrFingerprint
+	if !errors.As(err, &fe) {
+		t.Fatalf("Open with wrong fingerprint: err = %v, want ErrFingerprint", err)
+	}
+}
+
+func TestAppendRejectsDuplicateKey(t *testing.T) {
+	l, _ := mustCreate(t)
+	defer l.Close()
+	if err := l.Append("cell", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("cell", []byte{2}); err == nil {
+		t.Fatal("second Append for the same key must be rejected")
+	}
+}
+
+// appendN writes n distinct records and closes the log, returning the
+// file size after each record so corruption tests can cut at record
+// boundaries.
+func appendN(t *testing.T, n int) (string, []int64) {
+	t.Helper()
+	l, path := mustCreate(t)
+	var sizes []int64
+	for i := 0; i < n; i++ {
+		key := string(rune('a'+i)) + "|cell"
+		if err := l.Append(key, bytes.Repeat([]byte{byte(i)}, 16)); err != nil {
+			t.Fatal(err)
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, st.Size())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, sizes
+}
+
+// TestTruncatedTailDropped is corruption case 1 of the matrix: a record
+// torn mid-append (file cut inside the last record) is dropped on Open,
+// the file is truncated back to the verified prefix, and only the torn
+// cell is lost.
+func TestTruncatedTailDropped(t *testing.T) {
+	path, sizes := appendN(t, 3)
+	if err := os.Truncate(path, sizes[2]-5); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 2 || l.DroppedTail != 1 {
+		t.Fatalf("after torn tail: len=%d droppedTail=%d, want 2, 1", l.Len(), l.DroppedTail)
+	}
+	if _, ok := l.Get("c|cell"); ok {
+		t.Fatal("torn record still served")
+	}
+	// The repair must be physical: the file is cut back to the verified
+	// prefix so the next append continues cleanly.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != sizes[1] {
+		t.Fatalf("file not truncated to verified prefix: %d, want %d", st.Size(), sizes[1])
+	}
+	// Re-running the lost cell converges: append it again, reopen clean.
+	if err := l.Append("c|cell", []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	re, err := Open(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 3 || re.DroppedTail != 0 {
+		t.Fatalf("after repair+reappend: len=%d droppedTail=%d", re.Len(), re.DroppedTail)
+	}
+}
+
+// TestFlippedChecksumByteDropsSuffix is corruption case 2: a single
+// flipped byte inside a record fails its CRC; the record and everything
+// after it (whose framing can no longer be trusted) are dropped and
+// truncated, so the affected cells re-run rather than aggregate wrong.
+func TestFlippedChecksumByteDropsSuffix(t *testing.T) {
+	path, sizes := appendN(t, 4)
+	// Flip one payload byte inside record 2 (offsets [sizes[1], sizes[2])).
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := sizes[1] + (sizes[2]-sizes[1])/2
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], mid); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x40
+	if _, err := f.WriteAt(b[:], mid); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l, err := Open(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Len() != 2 {
+		t.Fatalf("after mid-file flip: len=%d, want the 2 records before the flip", l.Len())
+	}
+	if l.DroppedTail != 2 {
+		t.Errorf("droppedTail = %d, want 2 (the flipped record and the one after it)", l.DroppedTail)
+	}
+	for _, k := range []string{"c|cell", "d|cell"} {
+		if _, ok := l.Get(k); ok {
+			t.Errorf("record %q after the corruption still served", k)
+		}
+	}
+	if st, _ := os.Stat(path); st.Size() != sizes[1] {
+		t.Errorf("file not truncated at the corruption: %d, want %d", st.Size(), sizes[1])
+	}
+}
+
+// TestDuplicateKeyDropsBothAndCompacts is corruption case 3: two
+// verified records claiming one cell are ambiguous — neither is served,
+// the log is compacted so the key is physically gone, and a fresh
+// append for the cell converges instead of re-duplicating.
+func TestDuplicateKeyDropsBothAndCompacts(t *testing.T) {
+	l, path := mustCreate(t)
+	if err := l.Append("keep|cell", []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("dup|cell", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Forge a second verified record for dup|cell by appending the raw
+	// frame (Append itself refuses duplicates).
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(encodeRecord("dup|cell", []byte{2})); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := Open(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.DroppedDuplicates != 1 || re.Len() != 1 {
+		t.Fatalf("dup open: droppedDup=%d len=%d, want 1, 1", re.DroppedDuplicates, re.Len())
+	}
+	if _, ok := re.Get("dup|cell"); ok {
+		t.Fatal("ambiguous duplicate record still served")
+	}
+	if _, ok := re.Get("keep|cell"); !ok {
+		t.Fatal("unrelated record lost during compaction")
+	}
+	// Convergence: re-run the cell, reopen — no duplicates remain.
+	if err := re.Append("dup|cell", []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+	final, err := Open(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer final.Close()
+	if final.DroppedDuplicates != 0 || final.Len() != 2 {
+		t.Fatalf("after compaction+reappend: droppedDup=%d len=%d, want 0, 2", final.DroppedDuplicates, final.Len())
+	}
+	if got, ok := final.Get("dup|cell"); !ok || !bytes.Equal(got, []byte{3}) {
+		t.Fatalf("re-run record = %v, %v", got, ok)
+	}
+}
+
+// TestGarbageHeaderRejected: a file that is not a cell log (or an
+// unsupported version) is rejected outright rather than "repaired".
+func TestGarbageHeaderRejected(t *testing.T) {
+	dir := t.TempDir()
+	junk := filepath.Join(dir, "junk.bin")
+	if err := os.WriteFile(junk, []byte("not a log"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(junk, fp); err == nil {
+		t.Fatal("Open accepted a non-log file")
+	}
+
+	// Right magic, wrong version.
+	vpath := filepath.Join(dir, "v.bin")
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], Magic)
+	binary.LittleEndian.PutUint32(hdr[4:8], Version+1)
+	binary.LittleEndian.PutUint64(hdr[8:16], fp)
+	if err := os.WriteFile(vpath, hdr[:], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(vpath, fp); err == nil {
+		t.Fatal("Open accepted an unsupported version")
+	}
+}

@@ -1,0 +1,292 @@
+// Package campaign turns a one-shot sweep into a resumable, sharded
+// run: the spec's grid cells are distributed across worker goroutines,
+// every completed cell is checkpointed to an append-only artifact log
+// (internal/artifact) before the next one starts, and a resumed run
+// skips exactly the cells whose checkpoint records verify — re-running
+// everything else. Because a cell's trial seeds derive from its own
+// coordinates (sweep cell-coordinate seeding) and engine cancellation
+// only ever lands between trials, a cell computed after a crash is
+// byte-identical to the one the interrupted run would have produced,
+// so a resumed campaign's final artifact is byte-for-byte the
+// uninterrupted run's.
+//
+// The sharding unit is the CELL, not the trial: one worker runs all of
+// a cell's trials sequentially on its own pooled host, and cells
+// complete independently. That keeps the checkpoint granularity equal
+// to the durability granularity (a record either holds a whole cell or
+// nothing) and lets N workers make progress on N cells with zero
+// cross-worker coordination beyond an atomic claim counter — the same
+// discipline the trial engine uses one level down. The flattened
+// single-call path (sweep.Run) remains the fastest way to run a grid
+// that fits in one sitting; this package is for grids that might not.
+package campaign
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/artifact"
+	"repro/internal/experiments"
+	"repro/internal/sweep"
+)
+
+// Fingerprint derives the spec identity a checkpoint log is bound to:
+// FNV-64a over the canonical (normalized, struct-ordered) JSON of the
+// spec. Any change that could alter any cell's samples — axes, trials,
+// seed — changes the fingerprint, so a stale or mismatched checkpoint
+// is rejected at open instead of silently mixing two grids.
+func Fingerprint(spec sweep.Spec) uint64 {
+	spec.Normalize()
+	js, err := json.Marshal(spec)
+	if err != nil {
+		// sweep.Spec is plain data; Marshal cannot fail on it.
+		panic("campaign: marshalling spec: " + err.Error())
+	}
+	h := fnv.New64a()
+	h.Write(js)
+	return h.Sum64()
+}
+
+// Event reports one cell reaching a terminal state, in completion
+// order. OnCell observers receive events serialized (never two at
+// once).
+type Event struct {
+	// Cell is the cell's index in sweep.Expand order; Key its canonical
+	// coordinate string; Coords the operator-readable rendering.
+	Cell   int    `json:"cell"`
+	Key    string `json:"key"`
+	Coords string `json:"coords"`
+	// Done counts cells in a terminal state (skipped or computed) after
+	// this event, out of Total.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Skipped marks a cell restored from a verified checkpoint record
+	// rather than computed.
+	Skipped bool `json:"skipped,omitempty"`
+}
+
+// Stats summarises a campaign run for resume reports: how many cells
+// the grid had, how many were skipped via verified checkpoint records,
+// and how many were computed this run.
+type Stats struct {
+	Cells   int `json:"cells"`
+	Skipped int `json:"skipped"`
+	Ran     int `json:"ran"`
+	// DroppedTail / DroppedDuplicates surface the checkpoint log's
+	// open-time repairs (cells that re-ran because their records did not
+	// verify).
+	DroppedTail       int `json:"dropped_tail,omitempty"`
+	DroppedDuplicates int `json:"dropped_duplicates,omitempty"`
+}
+
+// Options configures a campaign run.
+type Options struct {
+	// Workers is the number of cells in flight at once; <= 0 selects
+	// GOMAXPROCS (via the trial engine's convention). Within a cell,
+	// trials run sequentially on the claiming worker.
+	Workers int
+	// Log, when non-nil, is the open checkpoint log: verified records
+	// skip their cells, completed cells append records. Nil runs the
+	// campaign uncheckpointed (still sharded and cancellable).
+	Log *artifact.Log
+	// OnCell, when non-nil, observes per-cell completions (checkpoint
+	// skips included), serialized, in completion order.
+	OnCell func(Event)
+}
+
+// Run executes the spec as a resumable campaign and returns the same
+// Result sweep.Run would produce (byte-identical once encoded), plus
+// run statistics. Cancelling ctx stops the campaign between trials;
+// cells checkpointed before the cancellation are never lost, and the
+// error reports how far the run got via Stats.
+func Run(ctx context.Context, spec sweep.Spec, opts Options) (*sweep.Result, *Stats, error) {
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, nil, err
+	}
+	cls := sweep.Expand(spec)
+	n := spec.Trials
+	st := &Stats{Cells: len(cls)}
+	if opts.Log != nil {
+		st.DroppedTail = opts.Log.DroppedTail
+		st.DroppedDuplicates = opts.Log.DroppedDuplicates
+	}
+
+	samples := make([][]experiments.Sample, len(cls))
+	pending := make([]int, 0, len(cls))
+	var done atomic.Int64
+
+	// emit serialises OnCell callbacks and checkpoint appends; the log
+	// is not concurrency-safe and observers expect ordered counts.
+	var mu sync.Mutex
+	emit := func(ci int, skipped bool) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if !skipped && opts.Log != nil {
+			if err := opts.Log.Append(cls[ci].Key, encodeSamples(samples[ci])); err != nil {
+				return err
+			}
+		}
+		if opts.OnCell != nil {
+			opts.OnCell(Event{
+				Cell:    ci,
+				Key:     cls[ci].Key,
+				Coords:  cls[ci].Coords(),
+				Done:    int(done.Add(1)),
+				Total:   len(cls),
+				Skipped: skipped,
+			})
+		} else {
+			done.Add(1)
+		}
+		return nil
+	}
+
+	// Restore phase: a cell whose record decodes to exactly n samples is
+	// skipped; anything else re-runs (a record that fails its checksum
+	// never reaches here — artifact.Open already dropped it).
+	for ci := range cls {
+		if opts.Log != nil {
+			if payload, ok := opts.Log.Get(cls[ci].Key); ok {
+				if ss, err := decodeSamples(payload, n); err == nil {
+					samples[ci] = ss
+					st.Skipped++
+					if err := emit(ci, true); err != nil {
+						return nil, st, err
+					}
+					continue
+				}
+				// Undecodable-but-verified record: the spec fingerprint pins
+				// the trial count, so this is a foreign writer or a bug —
+				// refuse to guess.
+				return nil, st, fmt.Errorf("campaign: checkpoint record for cell %s does not decode to %d trials", cls[ci].Coords(), n)
+			}
+		}
+		pending = append(pending, ci)
+	}
+
+	// Shard phase: workers claim pending cells via an atomic counter and
+	// run each cell's trials sequentially. One failing (panicking) cell
+	// or a cancellation stops the claim loop; in-flight cells finish
+	// their current trial and are NOT checkpointed unless complete.
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	var ran atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var firstErr atomic.Pointer[cellError]
+	record := func(ci int, err error) {
+		ce := &cellError{cell: ci, err: err}
+		for {
+			cur := firstErr.Load()
+			if cur != nil && cur.cell <= ci {
+				return
+			}
+			if firstErr.CompareAndSwap(cur, ce) {
+				return
+			}
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(pending) || firstErr.Load() != nil || ctx.Err() != nil {
+					return
+				}
+				ci := pending[k]
+				c := &cls[ci]
+				ss, err := experiments.RunTrialsErr(ctx, n, 1, c.Seed, func(t *experiments.Trial) experiments.Sample {
+					return c.Exp.Run(t, c.Config)
+				})
+				if err != nil {
+					record(ci, err)
+					return
+				}
+				samples[ci] = ss
+				if err := emit(ci, false); err != nil {
+					record(ci, err)
+					return
+				}
+				ran.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	st.Ran = int(ran.Load())
+	if ce := firstErr.Load(); ce != nil {
+		return nil, st, fmt.Errorf("campaign: cell %s: %w", cls[ce.cell].Coords(), ce.err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, st, fmt.Errorf("campaign: %w", context.Cause(ctx))
+	}
+
+	flat := make([]experiments.Sample, 0, len(cls)*n)
+	for _, ss := range samples {
+		flat = append(flat, ss...)
+	}
+	return sweep.Aggregate(spec, cls, flat), st, nil
+}
+
+// cellError attributes a worker failure to the lowest-index cell, like
+// the trial engine's panic attribution one level down.
+type cellError struct {
+	cell int
+	err  error
+}
+
+// sampleSize is the fixed per-trial encoding: OK byte + float64 bits.
+const sampleSize = 9
+
+// encodeSamples renders a cell's samples as the checkpoint payload: for
+// each trial one OK byte and the value's IEEE-754 bits, little-endian.
+// Bit-exact floats are what make a resumed aggregate byte-identical to
+// an uninterrupted one. Extra scalars and series are deliberately not
+// recorded: sweep aggregation consumes only OK and Value, so recording
+// more would bloat every record for data no view reads.
+func encodeSamples(ss []experiments.Sample) []byte {
+	buf := make([]byte, sampleSize*len(ss))
+	for i, s := range ss {
+		off := i * sampleSize
+		if s.OK {
+			buf[off] = 1
+		}
+		binary.LittleEndian.PutUint64(buf[off+1:off+9], math.Float64bits(s.Value))
+	}
+	return buf
+}
+
+// decodeSamples parses a checkpoint payload back into exactly n
+// samples, rejecting any other shape.
+func decodeSamples(payload []byte, n int) ([]experiments.Sample, error) {
+	if len(payload) != sampleSize*n {
+		return nil, fmt.Errorf("campaign: payload holds %d bytes, want %d trials x %d", len(payload), n, sampleSize)
+	}
+	out := make([]experiments.Sample, n)
+	for i := range out {
+		off := i * sampleSize
+		switch payload[off] {
+		case 0:
+		case 1:
+			out[i].OK = true
+		default:
+			return nil, fmt.Errorf("campaign: trial %d has invalid OK byte %d", i, payload[off])
+		}
+		out[i].Value = math.Float64frombits(binary.LittleEndian.Uint64(payload[off+1 : off+9]))
+	}
+	return out, nil
+}

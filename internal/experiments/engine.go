@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -106,7 +107,7 @@ func (p *hostPool) get(cfg hierarchy.Config, seed uint64) *hierarchy.Host {
 // unrecoverable goroutine. Callers that would rather handle the failure
 // use RunTrialsErr.
 func RunTrials(n, workers int, seed uint64, fn func(t *Trial) Sample) []Sample {
-	out, tp := runTrials(n, workers, seed, fn)
+	out, tp, _ := runTrials(context.Background(), n, workers, seed, fn)
 	if tp != nil {
 		// Panic with the typed value (its Error text prints identically)
 		// so a recover() above can still inspect index and cause.
@@ -115,13 +116,23 @@ func RunTrials(n, workers int, seed uint64, fn func(t *Trial) Sample) []Sample {
 	return out
 }
 
-// RunTrialsErr is RunTrials with a panicking trial converted into an
-// error identifying the trial, instead of a re-raised panic. The sweep
-// runner uses it so one broken grid cell fails the sweep cleanly.
-func RunTrialsErr(n, workers int, seed uint64, fn func(t *Trial) Sample) ([]Sample, error) {
-	out, tp := runTrials(n, workers, seed, fn)
+// RunTrialsErr is RunTrials with two failure modes surfaced as errors
+// instead of panics: a panicking trial is converted into an error
+// identifying the trial, and a cancelled ctx stops the run between
+// trials (in-flight trials finish; no new trials start) and returns
+// ctx's error. Because cancellation is only ever checked on trial
+// boundaries, the samples of trials that did complete are exactly what
+// an uninterrupted run would have produced — which is what lets the
+// campaign layer checkpoint completed cells and resume byte-identically.
+// The sweep runner uses the error form so one broken grid cell fails the
+// sweep cleanly.
+func RunTrialsErr(ctx context.Context, n, workers int, seed uint64, fn func(t *Trial) Sample) ([]Sample, error) {
+	out, tp, cancelled := runTrials(ctx, n, workers, seed, fn)
 	if tp != nil {
 		return nil, tp
+	}
+	if cancelled {
+		return nil, context.Cause(ctx)
 	}
 	return out, nil
 }
@@ -144,9 +155,9 @@ func (p *trialPanic) Error() string {
 // it to name the failing unit of work.
 func (p *trialPanic) TrialIndex() int { return p.index }
 
-func runTrials(n, workers int, seed uint64, fn func(t *Trial) Sample) ([]Sample, *trialPanic) {
+func runTrials(ctx context.Context, n, workers int, seed uint64, fn func(t *Trial) Sample) ([]Sample, *trialPanic, bool) {
 	if n <= 0 {
-		return nil, nil
+		return nil, nil, false
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -181,15 +192,29 @@ func runTrials(n, workers int, seed uint64, fn func(t *Trial) Sample) ([]Sample,
 		}()
 		out[t.Index] = fn(t)
 	}
+	// Cancellation is polled between trials only — never inside one — so
+	// every trial that starts also finishes, and the samples of finished
+	// trials are untouched by the interruption.
+	var cancelled atomic.Bool
+	interrupted := func() bool {
+		if cancelled.Load() {
+			return true
+		}
+		if ctx.Err() != nil {
+			cancelled.Store(true)
+			return true
+		}
+		return false
+	}
 	if workers == 1 {
 		pool := &hostPool{}
 		for i := 0; i < n; i++ {
-			if firstPanic.Load() != nil {
+			if firstPanic.Load() != nil || interrupted() {
 				break
 			}
 			runOne(&Trial{Index: i, Seed: xrand.Stream(seed, uint64(i)), pool: pool})
 		}
-		return out, firstPanic.Load()
+		return out, firstPanic.Load(), cancelled.Load()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -200,7 +225,7 @@ func runTrials(n, workers int, seed uint64, fn func(t *Trial) Sample) ([]Sample,
 			pool := &hostPool{}
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || firstPanic.Load() != nil {
+				if i >= n || firstPanic.Load() != nil || interrupted() {
 					return
 				}
 				runOne(&Trial{Index: i, Seed: xrand.Stream(seed, uint64(i)), pool: pool})
@@ -208,7 +233,7 @@ func runTrials(n, workers int, seed uint64, fn func(t *Trial) Sample) ([]Sample,
 		}()
 	}
 	wg.Wait()
-	return out, firstPanic.Load()
+	return out, firstPanic.Load(), cancelled.Load()
 }
 
 // SubSeed derives an independent base seed for one labelled sub-run of an

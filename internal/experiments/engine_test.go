@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"reflect"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -61,7 +65,7 @@ func TestRunTrialsEdgeCases(t *testing.T) {
 		t.Errorf("short run mishandled: %v", s)
 	}
 	// Zero trials through the error-returning variant.
-	if s, err := RunTrialsErr(0, 4, 1, func(*Trial) Sample { return Sample{} }); s != nil || err != nil {
+	if s, err := RunTrialsErr(context.Background(), 0, 4, 1, func(*Trial) Sample { return Sample{} }); s != nil || err != nil {
 		t.Errorf("RunTrialsErr(0) = %v, %v", s, err)
 	}
 }
@@ -87,7 +91,7 @@ func TestRunTrialsPanicSurfacesError(t *testing.T) {
 		// t.Errorf against test completion.
 		done := make(chan result, 1)
 		go func() {
-			s, err := RunTrialsErr(8, workers, 1, boom)
+			s, err := RunTrialsErr(context.Background(), 8, workers, 1, boom)
 			done <- result{s, err}
 		}()
 		select {
@@ -105,6 +109,114 @@ func TestRunTrialsPanicSurfacesError(t *testing.T) {
 		case <-time.After(30 * time.Second):
 			t.Fatalf("workers=%d: RunTrialsErr deadlocked on a panicking trial", workers)
 		}
+	}
+}
+
+// TestRunTrialsCancellation pins the context contract: cancelling the
+// ctx stops the run between trials (no trial is ever interrupted
+// mid-flight), RunTrialsErr reports the context's error, and every
+// worker goroutine exits.
+func TestRunTrialsCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int64
+		_, err := RunTrialsErr(ctx, 1000, workers, 1, func(tr *Trial) Sample {
+			if started.Add(1) == 3 {
+				cancel()
+			}
+			return Sample{OK: true}
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// The cancel fired inside trial 3; only trials already claimed at
+		// that moment may still have run (at most one per worker).
+		if n := started.Load(); n > int64(3+workers) {
+			t.Errorf("workers=%d: %d trials started after cancellation", workers, n)
+		}
+	}
+	// An already-cancelled ctx runs zero trials.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	if _, err := RunTrialsErr(ctx, 10, 4, 1, func(*Trial) Sample { ran = true; return Sample{} }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled ctx: err = %v", err)
+	}
+	if ran {
+		t.Error("pre-cancelled ctx still ran a trial")
+	}
+}
+
+// TestRunTrialsCompletedPrefixUnperturbed pins the property the
+// campaign layer's checkpoint/resume correctness rests on: the samples
+// of trials that complete before a cancellation are byte-identical to
+// the same trials of an uninterrupted run (cancellation is only checked
+// on trial boundaries and never perturbs a trial's seed or host).
+func TestRunTrialsCompletedPrefixUnperturbed(t *testing.T) {
+	const n = 64
+	full, err := RunTrialsErr(context.Background(), n, 1, 7, func(tr *Trial) Sample {
+		r := xrand.New(tr.Seed)
+		return Sample{OK: r.Bool(), Value: r.Float64()}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var got [n]Sample
+	var gotMask [n]bool
+	_, err = RunTrialsErr(ctx, n, 1, 7, func(tr *Trial) Sample {
+		if tr.Index == 10 {
+			cancel()
+		}
+		r := xrand.New(tr.Seed)
+		s := Sample{OK: r.Bool(), Value: r.Float64()}
+		got[tr.Index], gotMask[tr.Index] = s, true
+		return s
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i := range got {
+		if gotMask[i] && !reflect.DeepEqual(got[i], full[i]) {
+			t.Errorf("trial %d sample diverged under cancellation: %+v vs %+v", i, got[i], full[i])
+		}
+	}
+	if !gotMask[10] {
+		t.Fatal("cancelling trial never ran")
+	}
+}
+
+// TestRunTrialsPanicLeavesNoWorkers is the worker-panic goroutine-leak
+// audit pinned as a test: when one trial re-panics through the
+// recover/record protocol, the remaining workers must all exit (work is
+// handed out by an atomic counter, not a channel, so nothing can block
+// on an abandoned send) and the process goroutine count must settle
+// back to its pre-run level.
+func TestRunTrialsPanicLeavesNoWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 4; i++ {
+		_, err := RunTrialsErr(context.Background(), 64, 8, 1, func(tr *Trial) Sample {
+			if tr.Index == 0 {
+				panic("boom")
+			}
+			return Sample{OK: true}
+		})
+		if err == nil {
+			t.Fatal("panic not surfaced")
+		}
+	}
+	// Workers are wg.Wait()ed before RunTrialsErr returns, so any excess
+	// here would be a genuine leak; allow slack for runtime helpers.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d before, %d after panicking runs", before, n)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -21,6 +21,7 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -232,7 +233,7 @@ func Run(id string, trials, workers int, seed uint64) (*Report, error) {
 // validated (tenant.ParseList / Spec.Validate); an invalid spec fails
 // host construction.
 func RunTenants(id string, tenants []tenant.Spec, trials, workers int, seed uint64) (*Report, error) {
-	return RunWith(id, tenants, nil, trials, workers, seed)
+	return RunWith(context.Background(), id, tenants, nil, trials, workers, seed)
 }
 
 // RunWith is Run with both environment overrides: tenant specs replace
@@ -240,8 +241,10 @@ func RunTenants(id string, tenants []tenant.Spec, trials, workers int, seed uint
 // (the cmd/llcattack -tenants / -defense flags). Nil values keep the
 // scenario's own environment; a defense override must survive
 // hierarchy.Config.Validate against the scenario's geometry, reported
-// as an error rather than a panic.
-func RunWith(id string, tenants []tenant.Spec, def *defense.Spec, trials, workers int, seed uint64) (*Report, error) {
+// as an error rather than a panic. Cancelling ctx (the CLI's signal
+// context) stops the run between trials and returns the context's
+// error; a completed report never depends on ctx.
+func RunWith(ctx context.Context, id string, tenants []tenant.Spec, def *defense.Spec, trials, workers int, seed uint64) (*Report, error) {
 	sc, ok := Lookup(id)
 	if !ok {
 		return nil, fmt.Errorf("scenario: unknown scenario %q (known: %v)", id, IDs())
@@ -259,7 +262,10 @@ func RunWith(id string, tenants []tenant.Spec, def *defense.Spec, trials, worker
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("scenario: %s: %w", sc.ID, err)
 	}
-	outs := RunOn(sc, cfg, trials, workers, seed)
+	outs, err := RunOn(ctx, sc, cfg, trials, workers, seed)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", sc.ID, err)
+	}
 	return &Report{
 		Scenario:  sc.ID,
 		Desc:      sc.Desc,
@@ -273,17 +279,21 @@ func RunWith(id string, tenants []tenant.Spec, def *defense.Spec, trials, worker
 }
 
 // RunOn executes trials of sc on an explicit config through the trial
-// engine, returning the outcomes in trial order. Per-trial outcome slots
-// keep the writes race-free at any worker count, like the engine's own
-// sample slice.
-func RunOn(sc Scenario, cfg hierarchy.Config, trials, workers int, seed uint64) []Outcome {
+// engine, returning the outcomes in trial order (an error only on
+// cancellation or a panicking trial). Per-trial outcome slots keep the
+// writes race-free at any worker count, like the engine's own sample
+// slice.
+func RunOn(ctx context.Context, sc Scenario, cfg hierarchy.Config, trials, workers int, seed uint64) ([]Outcome, error) {
 	outs := make([]Outcome, trials)
-	experiments.RunTrials(trials, workers, experiments.SubSeed(seed, "scenario", sc.ID), func(t *experiments.Trial) experiments.Sample {
+	_, err := experiments.RunTrialsErr(ctx, trials, workers, experiments.SubSeed(seed, "scenario", sc.ID), func(t *experiments.Trial) experiments.Sample {
 		o := sc.Run(t, cfg)
 		outs[t.Index] = o
 		return experiments.Sample{OK: o.Success, Value: float64(o.TotalCycles)}
 	})
-	return outs
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
 }
 
 // AggregateOutcomes folds per-trial outcomes into the success-rate and

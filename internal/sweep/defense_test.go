@@ -1,6 +1,9 @@
 package sweep
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestDefenseAxis sweeps LLC countermeasures: the same experiment across
 // defenses, with "none" first so it is the baseline the defended cells
@@ -10,7 +13,7 @@ func TestDefenseAxis(t *testing.T) {
 	s.Policies = []string{"LRU"}
 	s.SFAssocs = []int{8}
 	s.Defenses = []string{"none", "partition:ways=4", "quiesce"}
-	res, err := Run(s, 4)
+	res, err := Run(context.Background(), s, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,11 +46,11 @@ func TestDefenseAxisPreservesUndefendedCells(t *testing.T) {
 	base := tinySpec()
 	withAxis := tinySpec()
 	withAxis.Defenses = []string{"none", "quiesce"}
-	a, err := Run(base, 4)
+	a, err := Run(context.Background(), base, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(withAxis, 4)
+	b, err := Run(context.Background(), withAxis, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +100,7 @@ func TestScenarioCellCarriesVariantDefense(t *testing.T) {
 		Trials:      2,
 		Seed:        7,
 	}
-	res, err := Run(spec, 4)
+	res, err := Run(context.Background(), spec, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,11 +27,13 @@
 package sweep
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/defense"
@@ -216,26 +218,47 @@ type Result struct {
 	Cells []CellResult `json:"cells"`
 }
 
-// cell is one expanded grid point before aggregation.
-type cell struct {
-	exp         experiments.Cell
-	policy      cache.PolicyKind
-	polName     string
-	sfAssoc     int
-	slices      int
-	noiseRate   float64
-	tenantModel string
-	defenseName string
-	cfg         hierarchy.Config
-	seed        uint64
+// Cell is one expanded grid point before aggregation. The campaign
+// layer (internal/campaign) consumes expanded cells directly so it can
+// run, checkpoint and resume them one at a time; within this package
+// they only ever flow from Expand into Aggregate.
+type Cell struct {
+	// Exp is the registered cell experiment the cell runs.
+	Exp experiments.Cell
+	// Policy is the parsed replacement policy; PolicyName its canonical
+	// spelling (the artifact row value).
+	Policy     cache.PolicyKind
+	PolicyName string
+	// SFAssoc, Slices, NoiseRate, TenantModel and DefenseName are the
+	// cell's remaining grid coordinates, exactly as they appear in
+	// CellResult rows.
+	SFAssoc     int
+	Slices      int
+	NoiseRate   float64
+	TenantModel string
+	DefenseName string
+	// Config is the fully materialised hierarchy config the cell's
+	// trials run on.
+	Config hierarchy.Config
+	// Seed is the cell's base seed, derived from its coordinates alone
+	// (never from its flat grid position): trial i of this cell runs on
+	// xrand.Stream(Seed, i) whether the grid is flattened into one
+	// RunTrials call or the cell is run on its own.
+	Seed uint64
+	// Key is the canonical cell coordinate string ("|"-joined seed
+	// labels). It identifies the cell in checkpoint artifacts: two cells
+	// share a Key exactly when they share a Seed, so a record keyed by
+	// it is valid across grid reshapes, like the seeds themselves.
+	Key string
 }
 
-// expand materialises the spec's cells in deterministic order:
+// Expand materialises the spec's cells in deterministic order:
 // experiments outermost, then policies, associativities, slice counts,
-// noise rates. The spec must already have passed Validate — the single
-// validation path — so failed lookups here are programming errors.
-func expand(s Spec) []cell {
-	var out []cell
+// noise rates, tenant models, defenses. The spec must already have
+// passed Normalize and Validate — the single validation path — so
+// failed lookups here are programming errors.
+func Expand(s Spec) []Cell {
+	var out []Cell
 	// Resolve the defense axis once, outside the nested loops: each
 	// value becomes a (canonical name, spec) pair, with "none" as the
 	// undefended nil. Validate already parsed every entry, so a failure
@@ -248,7 +271,7 @@ func expand(s Spec) []cell {
 	for i, d := range s.Defenses {
 		sp, err := defense.ParseOpt(d)
 		if err != nil {
-			panic("sweep: expand called with unvalidated defense " + d)
+			panic("sweep: Expand called with unvalidated defense " + d)
 		}
 		defs[i] = defAxis{name: "none", spec: sp}
 		if sp != nil {
@@ -261,12 +284,12 @@ func expand(s Spec) []cell {
 	for _, id := range s.Experiments {
 		ce, ok := experiments.LookupCell(id)
 		if !ok {
-			panic("sweep: expand called with unvalidated experiment " + id)
+			panic("sweep: Expand called with unvalidated experiment " + id)
 		}
 		for _, pname := range s.Policies {
 			kind, err := cache.ParsePolicy(pname)
 			if err != nil {
-				panic("sweep: expand called with unvalidated policy " + pname)
+				panic("sweep: Expand called with unvalidated policy " + pname)
 			}
 			for _, assoc := range s.SFAssocs {
 				for _, slices := range s.Slices {
@@ -311,17 +334,18 @@ func expand(s Spec) []cell {
 									cfg.Name += "/" + def.name
 									labels = append(labels, "defense:"+def.name)
 								}
-								out = append(out, cell{
-									exp:         ce,
-									policy:      kind,
-									polName:     kind.String(),
-									sfAssoc:     assoc,
-									slices:      slices,
-									noiseRate:   rate,
-									tenantModel: model,
-									defenseName: def.name,
-									cfg:         cfg,
-									seed:        cellSeed(s.Seed, labels...),
+								out = append(out, Cell{
+									Exp:         ce,
+									Policy:      kind,
+									PolicyName:  kind.String(),
+									SFAssoc:     assoc,
+									Slices:      slices,
+									NoiseRate:   rate,
+									TenantModel: model,
+									DefenseName: def.name,
+									Config:      cfg,
+									Seed:        cellSeed(s.Seed, labels...),
+									Key:         cellKey(labels),
 								})
 							}
 						}
@@ -344,37 +368,69 @@ func cellSeed(seed uint64, labels ...any) uint64 {
 	return experiments.SubSeed(seed, strs...)
 }
 
+// cellKey renders the same coordinate labels that seed a cell into its
+// canonical checkpoint key. Keeping key and seed derived from one label
+// slice means a checkpoint record can never be matched to a cell whose
+// seed stream differs. "|" never occurs in experiment ids, policy
+// names, canonical float prints, or tenant/defense spec strings.
+func cellKey(labels []any) string {
+	strs := make([]string, len(labels))
+	for i, l := range labels {
+		strs[i] = fmt.Sprint(l)
+	}
+	return strings.Join(strs, "|")
+}
+
 // Run executes the sweep: the whole grid flattens into one
 // experiments.RunTrialsErr call (so per-worker host pools are shared
 // across cells and one panicking cell fails the sweep cleanly), then
 // each cell's samples aggregate into a CellResult with deltas against
 // its experiment's baseline cell. workers <= 0 selects GOMAXPROCS; the
-// Result is identical for every worker count.
-func Run(spec Spec, workers int) (*Result, error) {
+// Result is identical for every worker count. Cancelling ctx stops the
+// grid between trials and returns the context's error; Run itself
+// persists nothing (the resumable path is internal/campaign.Run, which
+// produces the identical Result).
+func Run(ctx context.Context, spec Spec, workers int) (*Result, error) {
 	spec.Normalize()
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	cls := expand(spec)
+	cls := Expand(spec)
 	n := spec.Trials
-	samples, err := experiments.RunTrialsErr(len(cls)*n, workers, spec.Seed, func(t *experiments.Trial) experiments.Sample {
+	samples, err := experiments.RunTrialsErr(ctx, len(cls)*n, workers, spec.Seed, func(t *experiments.Trial) experiments.Sample {
 		c := cls[t.Index/n]
 		// The trial's seed comes from the cell's own stream, not the flat
 		// grid index, so cells are stable across grid reshapes.
-		return c.exp.Run(t.WithSeed(xrand.Stream(c.seed, uint64(t.Index%n))), c.cfg)
+		return c.Exp.Run(t.WithSeed(xrand.Stream(c.Seed, uint64(t.Index%n))), c.Config)
 	})
 	if err != nil {
 		// Name the failing grid cell, not just the flat trial index: the
 		// coordinates are what the operator needs to reproduce one cell.
 		if tp, ok := err.(interface{ TrialIndex() int }); ok {
 			if ci := tp.TrialIndex() / n; ci >= 0 && ci < len(cls) {
-				c := cls[ci]
-				return nil, fmt.Errorf("sweep: cell %s policy=%s sf_assoc=%d slices=%d noise=%g tenant=%s defense=%s: %w",
-					c.exp.ID, c.polName, c.sfAssoc, c.slices, c.noiseRate, c.tenantModel, c.defenseName, err)
+				return nil, fmt.Errorf("sweep: cell %s: %w", cls[ci].Coords(), err)
 			}
 		}
 		return nil, err
 	}
+	return Aggregate(spec, cls, samples), nil
+}
+
+// Coords renders the cell's grid coordinates the way sweep errors and
+// campaign progress lines name a cell for an operator.
+func (c *Cell) Coords() string {
+	return fmt.Sprintf("%s policy=%s sf_assoc=%d slices=%d noise=%g tenant=%s defense=%s",
+		c.Exp.ID, c.PolicyName, c.SFAssoc, c.Slices, c.NoiseRate, c.TenantModel, c.DefenseName)
+}
+
+// Aggregate folds per-trial samples into the sweep artifact: cell ci's
+// trials are samples[ci*n : (ci+1)*n] in trial order (n = spec.Trials).
+// It is pure — given equal samples it produces an equal Result — which
+// is the property that makes a resumed campaign's artifact
+// byte-identical to an uninterrupted run's: resume only has to
+// reproduce the per-cell sample slices.
+func Aggregate(spec Spec, cls []Cell, samples []experiments.Sample) *Result {
+	n := spec.Trials
 	res := &Result{Spec: spec}
 	baseline := map[string]CellResult{} // experiment id -> baseline cell
 	for ci, c := range cls {
@@ -389,14 +445,14 @@ func Run(spec Spec, workers int) (*Result, error) {
 		}
 		sum := stats.Summarize(ok)
 		cr := CellResult{
-			Experiment:  c.exp.ID,
-			Policy:      c.polName,
-			SFAssoc:     c.sfAssoc,
-			Slices:      c.slices,
-			NoiseRate:   c.noiseRate,
-			TenantModel: c.tenantModel,
-			Defense:     c.defenseName,
-			Unit:        c.exp.Unit,
+			Experiment:  c.Exp.ID,
+			Policy:      c.PolicyName,
+			SFAssoc:     c.SFAssoc,
+			Slices:      c.Slices,
+			NoiseRate:   c.NoiseRate,
+			TenantModel: c.TenantModel,
+			Defense:     c.DefenseName,
+			Unit:        c.Exp.Unit,
 			Trials:      n,
 			SuccessRate: float64(succ) / float64(n),
 			Mean:        sum.Mean,
@@ -404,11 +460,11 @@ func Run(spec Spec, workers int) (*Result, error) {
 			Median:      sum.Median,
 			P95:         stats.Percentile(ok, 95),
 		}
-		if base, have := baseline[c.exp.ID]; !have {
+		if base, have := baseline[c.Exp.ID]; !have {
 			// Cells expand with the first value of every axis first, so the
 			// first cell of an experiment is its baseline.
 			cr.Baseline = true
-			baseline[c.exp.ID] = cr
+			baseline[c.Exp.ID] = cr
 		} else {
 			ds := cr.SuccessRate - base.SuccessRate
 			cr.DeltaSuccess = &ds
@@ -419,7 +475,7 @@ func Run(spec Spec, workers int) (*Result, error) {
 		}
 		res.Cells = append(res.Cells, cr)
 	}
-	return res, nil
+	return res
 }
 
 // WriteJSON renders the artifact as indented JSON. Encoding is fully

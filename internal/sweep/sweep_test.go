@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"reflect"
 	"strings"
@@ -59,7 +60,7 @@ func TestValidateRejectsBadAxes(t *testing.T) {
 		if err := s.Validate(); err == nil {
 			t.Errorf("%s: Validate accepted %+v", name, s)
 		}
-		if _, err := Run(s, 1); err == nil {
+		if _, err := Run(context.Background(), s, 1); err == nil {
 			t.Errorf("%s: Run accepted invalid spec", name)
 		}
 	}
@@ -67,7 +68,7 @@ func TestValidateRejectsBadAxes(t *testing.T) {
 
 func TestGridExpansionAndBaseline(t *testing.T) {
 	s := tinySpec()
-	res, err := Run(s, 2)
+	res, err := Run(context.Background(), s, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestGridExpansionAndBaseline(t *testing.T) {
 // sequential and 8-worker runs of the same grid.
 func TestArtifactWorkerInvariance(t *testing.T) {
 	render := func(workers int) (string, string) {
-		res, err := Run(tinySpec(), workers)
+		res, err := Run(context.Background(), tinySpec(), workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -130,13 +131,13 @@ func TestArtifactWorkerInvariance(t *testing.T) {
 // depend only on its own coordinates, so shrinking the grid leaves the
 // surviving cells byte-identical.
 func TestCellGridInvariance(t *testing.T) {
-	full, err := Run(tinySpec(), 4)
+	full, err := Run(context.Background(), tinySpec(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	small := tinySpec()
 	small.Policies = []string{"LRU"} // drop QLRU
-	sub, err := Run(small, 4)
+	sub, err := Run(context.Background(), small, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestCellGridInvariance(t *testing.T) {
 }
 
 func TestWriteCSVShape(t *testing.T) {
-	res, err := Run(tinySpec(), 4)
+	res, err := Run(context.Background(), tinySpec(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestTenantModelAxis(t *testing.T) {
 	s.SFAssocs = []int{8}
 	s.NoiseRates = []float64{11.5}
 	s.TenantModels = []string{"poisson", "burst", "stream", "hotset", "churn"}
-	res, err := Run(s, 4)
+	res, err := Run(context.Background(), s, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,11 +237,11 @@ func TestTenantAxisPreservesPoissonCells(t *testing.T) {
 	base := tinySpec()
 	withAxis := tinySpec()
 	withAxis.TenantModels = []string{"poisson", "stream"}
-	a, err := Run(base, 4)
+	a, err := Run(context.Background(), base, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(withAxis, 4)
+	b, err := Run(context.Background(), withAxis, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +300,7 @@ func TestScenarioCellSweep(t *testing.T) {
 	}
 	var arts [][]byte
 	for _, workers := range []int{1, 8} {
-		res, err := Run(spec, workers)
+		res, err := Run(context.Background(), spec, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
