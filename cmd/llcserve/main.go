@@ -22,11 +22,22 @@
 // job IS its spec: submitting a byte-different spec makes a new job,
 // resubmitting an identical one attaches to the existing job in any
 // state — including interrupted jobs from a previous process, which
-// re-enqueue and resume. Jobs run one at a time in submission order
-// (the grid itself shards across -parallel workers). On SIGINT/SIGTERM
-// the daemon drains: in-flight cells finish their trials, the
-// checkpoint log keeps every completed cell, and the job is marked
-// interrupted for the next incarnation to resume.
+// re-enqueue and resume. Up to -jobs campaigns run concurrently in
+// submission order, splitting the -parallel cell-worker budget evenly;
+// neither knob changes any artifact byte (determinism clauses 4 and
+// 8). The submit queue is unbounded — accepting a job is a map insert
+// and a slice append, so submission never blocks on the runners. On
+// SIGINT/SIGTERM the daemon drains: in-flight cells finish their
+// trials, the checkpoint log keeps every completed cell, and the job
+// is marked interrupted for the next incarnation to resume.
+//
+// With -retain-age and/or -retain-count the daemon garbage-collects
+// DONE jobs' spec/cells/result triples (oldest first, by completion
+// time) once they are older than the age or beyond the count. Queued,
+// running, failed, cancelled and interrupted jobs are never touched:
+// retention only reaps campaigns whose artifact was served durable,
+// and a reaped spec can always be resubmitted to recompute
+// byte-identical results.
 package main
 
 import (
@@ -41,6 +52,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -62,7 +74,10 @@ func main() {
 	var (
 		addr     = fs.String("addr", "127.0.0.1:8077", "listen address")
 		dataDir  = fs.String("data", "", "directory for specs, checkpoint logs and results (required)")
-		parallel = fs.Int("parallel", 0, "campaign cell workers (0 = GOMAXPROCS); never changes any artifact")
+		parallel = fs.Int("parallel", 0, "total campaign cell workers across jobs (0 = GOMAXPROCS); never changes any artifact")
+		jobs     = fs.Int("jobs", 1, "concurrent campaign jobs; the -parallel budget is split evenly between them")
+		retAge   = fs.Duration("retain-age", 0, "garbage-collect done jobs older than this (0 = keep forever)")
+		retCount = fs.Int("retain-count", 0, "keep at most this many done jobs, oldest reaped first (0 = keep all)")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -71,14 +86,23 @@ func main() {
 		os.Exit(2)
 	}
 	if *dataDir == "" {
-		fmt.Fprintln(os.Stderr, "usage: llcserve -data DIR [-addr HOST:PORT] [-parallel K]")
+		fmt.Fprintln(os.Stderr, "usage: llcserve -data DIR [-addr HOST:PORT] [-parallel K] [-jobs K] [-retain-age D] [-retain-count N]")
+		os.Exit(2)
+	}
+	if *jobs < 1 || *retAge < 0 || *retCount < 0 {
+		fmt.Fprintln(os.Stderr, "llcserve: -jobs must be >= 1 and -retain-age/-retain-count must not be negative")
 		os.Exit(2)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	context.AfterFunc(ctx, stop)
 
-	srv, err := newServer(*dataDir, *parallel)
+	srv, err := newServer(*dataDir, serverOptions{
+		workers:     *parallel,
+		jobs:        *jobs,
+		retainAge:   *retAge,
+		retainCount: *retCount,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "llcserve: %v\n", err)
 		os.Exit(1)
@@ -138,36 +162,64 @@ type job struct {
 
 	seq       int // submission order for listing
 	events    []campaign.Event
+	gen       int // bumped when a rerun resets events, so streams replay
+	doneAt    time.Time
 	cancel    context.CancelFunc
 	cancelled bool // cancel endpoint (vs daemon drain) hit while active
 }
 
-type server struct {
-	dataDir string
+// serverOptions configures a daemon instance.
+type serverOptions struct {
+	// workers is the total cell-worker budget shared by all concurrent
+	// jobs (0 = GOMAXPROCS). It never changes any artifact byte.
 	workers int
+	// jobs is how many campaigns run concurrently (<= 0 means 1). Each
+	// running job gets max(1, workers/jobs) cell workers.
+	jobs int
+	// retainAge garbage-collects done jobs finished longer ago than
+	// this (0 = no age limit).
+	retainAge time.Duration
+	// retainCount keeps at most this many done jobs, reaping the oldest
+	// first (0 = no count limit).
+	retainCount int
+}
 
-	mu   sync.Mutex
-	cond *sync.Cond
-	jobs map[string]*job
-	next int // next submission sequence number
+type server struct {
+	dataDir     string
+	workers     int // cell workers per running job
+	jobSlots    int // concurrent job runners
+	retainAge   time.Duration
+	retainCount int
 
-	queue   chan string
-	stopped chan struct{} // closed when the runner exits
+	mu    sync.Mutex
+	cond  *sync.Cond
+	jobs  map[string]*job
+	next  int      // next submission sequence number
+	queue []string // unbounded FIFO of queued job IDs; cond signals appends
+
+	stopped chan struct{} // closed when every runner has exited
 }
 
 // newServer loads the data directory's jobs: a spec with a result is
 // done, one without is a campaign the previous incarnation never
 // finished — exposed as interrupted so a resubmit resumes it.
-func newServer(dataDir string, workers int) (*server, error) {
+func newServer(dataDir string, opts serverOptions) (*server, error) {
 	if err := os.MkdirAll(dataDir, 0o755); err != nil {
 		return nil, err
 	}
+	budget := opts.workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	slots := max(1, opts.jobs)
 	s := &server{
-		dataDir: dataDir,
-		workers: workers,
-		jobs:    make(map[string]*job),
-		queue:   make(chan string, 1024),
-		stopped: make(chan struct{}),
+		dataDir:     dataDir,
+		workers:     max(1, budget/slots),
+		jobSlots:    slots,
+		retainAge:   opts.retainAge,
+		retainCount: opts.retainCount,
+		jobs:        make(map[string]*job),
+		stopped:     make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	specs, err := filepath.Glob(filepath.Join(dataDir, "*.spec.json"))
@@ -191,9 +243,12 @@ func newServer(dataDir string, workers int) (*server, error) {
 		}
 		j := &job{ID: id, Spec: spec, Total: len(sweep.Expand(spec)), State: stateInterrupted, seq: s.next}
 		s.next++
-		if _, err := os.Stat(s.resultPath(id)); err == nil {
+		if fi, err := os.Stat(s.resultPath(id)); err == nil {
 			j.State = stateDone
 			j.Done = j.Total
+			// The artifact's install time stands in for the completion
+			// time, so retention ages reloaded jobs sensibly.
+			j.doneAt = fi.ModTime()
 		}
 		s.jobs[id] = j
 	}
@@ -206,25 +261,123 @@ func (s *server) specPath(id string) string   { return filepath.Join(s.dataDir, 
 func (s *server) cellsPath(id string) string  { return filepath.Join(s.dataDir, id+".cells") }
 func (s *server) resultPath(id string) string { return filepath.Join(s.dataDir, id+".result.json") }
 
-// start launches the FIFO runner. ctx is the daemon lifetime: when it
-// cancels, the running campaign stops at the next trial boundary and
-// the runner exits after marking the job interrupted.
+// start launches the job-runner pool: jobSlots goroutines each pop the
+// oldest queued ID and run it, so jobs still start in submission order
+// even though up to jobSlots of them run concurrently. ctx is the
+// daemon lifetime: when it cancels, running campaigns stop at the next
+// trial boundary and the runners exit after marking their jobs
+// interrupted. Retention, when configured, sweeps at startup and then
+// once a minute.
 func (s *server) start(ctx context.Context) {
-	go func() {
-		defer close(s.stopped)
-		for {
-			select {
-			case <-ctx.Done():
-				return
-			case id := <-s.queue:
+	// Runners block on the cond (not the ctx), so translate cancellation
+	// into a broadcast to wake the idle ones.
+	stopWake := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for range s.jobSlots {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s.mu.Lock()
+				for len(s.queue) == 0 && ctx.Err() == nil {
+					s.cond.Wait()
+				}
+				if ctx.Err() != nil {
+					s.mu.Unlock()
+					return
+				}
+				id := s.queue[0]
+				s.queue = s.queue[1:]
+				s.mu.Unlock()
 				s.runJob(ctx, id)
+				s.gc()
 			}
-		}
+		}()
+	}
+	if s.retainAge > 0 || s.retainCount > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.gc()
+			t := time.NewTicker(time.Minute)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					s.gc()
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		stopWake()
+		close(s.stopped)
 	}()
 }
 
-// wait blocks until the runner has exited (drain complete).
+// wait blocks until every runner has exited (drain complete).
 func (s *server) wait() { <-s.stopped }
+
+// enqueue appends a job ID to the FIFO and wakes an idle runner. The
+// caller must hold s.mu; the queue is a slice, so enqueueing never
+// blocks no matter how many jobs are backed up (a bounded channel here
+// once deadlocked the whole daemon at 1024 queued jobs, because the
+// send happened under the same mutex the runner needs to make
+// progress).
+func (s *server) enqueue(id string) {
+	s.queue = append(s.queue, id)
+	s.cond.Broadcast()
+}
+
+// gc applies the retention policy: done jobs beyond -retain-count or
+// older than -retain-age lose their spec/cells/result triple and their
+// jobs-map entry. Only stateDone jobs are candidates — queued, running,
+// failed, cancelled and interrupted jobs keep their files, since those
+// states still need the spec and checkpoint log to resume.
+func (s *server) gc() {
+	if s.retainAge <= 0 && s.retainCount <= 0 {
+		return
+	}
+	s.mu.Lock()
+	var done []*job
+	for _, j := range s.jobs {
+		if j.State == stateDone {
+			done = append(done, j)
+		}
+	}
+	// Newest first, so the count limit keeps the most recent artifacts.
+	sort.Slice(done, func(a, b int) bool { return done[a].doneAt.After(done[b].doneAt) })
+	var evict []*job
+	now := time.Now()
+	for i, j := range done {
+		switch {
+		case s.retainCount > 0 && i >= s.retainCount:
+			evict = append(evict, j)
+		case s.retainAge > 0 && now.Sub(j.doneAt) > s.retainAge:
+			evict = append(evict, j)
+		}
+	}
+	for _, j := range evict {
+		delete(s.jobs, j.ID)
+	}
+	s.mu.Unlock()
+	for _, j := range evict {
+		for _, p := range []string{s.specPath(j.ID), s.cellsPath(j.ID), s.resultPath(j.ID)} {
+			if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+				fmt.Fprintf(os.Stderr, "llcserve: retention: %v\n", err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "llcserve: retention: reaped done job %s (finished %s)\n",
+			j.ID, j.doneAt.Format(time.RFC3339))
+	}
+}
 
 func (s *server) runJob(ctx context.Context, id string) {
 	s.mu.Lock()
@@ -238,20 +391,20 @@ func (s *server) runJob(ctx context.Context, id string) {
 	j.State = stateRunning
 	j.Done, j.Skip = 0, 0
 	j.Error = ""
+	// Resetting the backlog invalidates every connected event stream's
+	// cursor; the generation bump tells them to replay from the start of
+	// the new run instead of silently skipping its first events.
 	j.events = nil
+	j.gen++
 	j.cancel = cancel
 	j.cancelled = false
 	s.cond.Broadcast()
 	s.mu.Unlock()
 
-	var ckpt *artifact.Log
-	fp := campaign.Fingerprint(j.Spec)
-	var err error
-	if _, serr := os.Stat(s.cellsPath(id)); serr == nil {
-		ckpt, err = artifact.Open(s.cellsPath(id), fp)
-	} else {
-		ckpt, err = artifact.Create(s.cellsPath(id), fp)
-	}
+	// OpenOrCreate recreates a torn-header log (a crash between Create
+	// and the header sync leaves a short file with zero verified
+	// records) instead of failing the job on every resubmit forever.
+	ckpt, err := artifact.OpenOrCreate(s.cellsPath(id), campaign.Fingerprint(j.Spec))
 	var res *sweep.Result
 	if err == nil {
 		defer ckpt.Close()
@@ -280,6 +433,7 @@ func (s *server) runJob(ctx context.Context, id string) {
 	switch {
 	case err == nil:
 		j.State = stateDone
+		j.doneAt = time.Now()
 	case j.cancelled:
 		j.State = stateCancelled
 		j.Error = err.Error()
@@ -380,7 +534,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		j = &job{ID: id, Spec: spec, Total: len(sweep.Expand(spec)), State: stateQueued, seq: s.next}
 		s.next++
 		s.jobs[id] = j
-		s.queue <- id
+		s.enqueue(id)
 		writeJSON(w, http.StatusCreated, j)
 		return
 	}
@@ -388,8 +542,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	case stateInterrupted, stateCancelled, stateFailed:
 		j.State = stateQueued
 		j.Error = ""
-		s.cond.Broadcast()
-		s.queue <- id
+		s.enqueue(id)
 		writeJSON(w, http.StatusAccepted, j)
 	default: // queued, running, done: idempotent attach
 		writeJSON(w, http.StatusOK, j)
@@ -472,10 +625,19 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 	})
 	defer stop()
 	enc := json.NewEncoder(w)
-	i := 0
+	i, gen := 0, -1
 	for {
 		s.mu.Lock()
-		for i >= len(j.events) && (j.State == stateQueued || j.State == stateRunning) && r.Context().Err() == nil {
+		for {
+			if j.gen != gen {
+				// A rerun replaced the backlog: restart the cursor so the
+				// client sees the new run from its first event instead of
+				// silently skipping the first i of them.
+				gen, i = j.gen, 0
+			}
+			if i < len(j.events) || (j.State != stateQueued && j.State != stateRunning) || r.Context().Err() != nil {
+				break
+			}
 			s.cond.Wait()
 		}
 		if r.Context().Err() != nil || (i >= len(j.events) && j.State != stateQueued && j.State != stateRunning) {

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -40,7 +42,7 @@ func slowSpec() sweep.Spec {
 
 func startServer(t *testing.T, dir string) (*server, *httptest.Server, context.CancelFunc) {
 	t.Helper()
-	s, err := newServer(dir, 1)
+	s, err := newServer(dir, serverOptions{workers: 1})
 	if err != nil {
 		t.Fatalf("newServer: %v", err)
 	}
@@ -302,7 +304,7 @@ func TestDrainMarksInterruptedAndRestartResumes(t *testing.T) {
 	dir := t.TempDir()
 	spec := slowSpec()
 
-	s1, err := newServer(dir, 1)
+	s1, err := newServer(dir, serverOptions{workers: 1})
 	if err != nil {
 		t.Fatalf("newServer: %v", err)
 	}
@@ -354,7 +356,7 @@ func TestDrainMarksInterruptedAndRestartResumes(t *testing.T) {
 	}
 
 	// A third incarnation over the finished directory lists it as done.
-	s3, err := newServer(dir, 1)
+	s3, err := newServer(dir, serverOptions{workers: 1})
 	if err != nil {
 		t.Fatalf("newServer (third): %v", err)
 	}
@@ -391,5 +393,260 @@ func TestListOrdersBySubmission(t *testing.T) {
 			ids[i] = fmt.Sprintf("%s(%s)", j.ID, j.State)
 		}
 		t.Fatalf("list = %v, want [%s %s]", ids, ja.ID, jb.ID)
+	}
+}
+
+// Regression: submit used to send the job ID on a bounded channel
+// (capacity 1024) while still holding s.mu. Once enough jobs backed up
+// the send blocked inside the lock, and every other handler — plus the
+// runner itself, whose OnCell callback needs s.mu — deadlocked behind
+// it. The queue is an unbounded slice now, so well over 1024 submits
+// must complete even when nothing is draining the queue at all.
+func TestSubmitManyQueuedDoesNotDeadlock(t *testing.T) {
+	s, err := newServer(t.TempDir(), serverOptions{workers: 1})
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	// Deliberately never s.start: the queue only grows.
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	const submits = 1100
+	errc := make(chan error, 1)
+	go func() {
+		for i := range submits {
+			spec := tinySpec()
+			spec.Seed = uint64(1000 + i) // distinct fingerprint per submit
+			body, err := json.Marshal(spec)
+			if err == nil {
+				var resp *http.Response
+				resp, err = http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+				if err == nil {
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusCreated {
+						err = fmt.Errorf("submit %d: status %d", i, resp.StatusCode)
+					}
+				}
+			}
+			if err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("submitting: %v", err)
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatal("submit deadlocked with a full queue and no runner")
+	}
+	s.mu.Lock()
+	queued := len(s.queue)
+	s.mu.Unlock()
+	if queued != submits {
+		t.Fatalf("queue holds %d of %d submitted jobs", queued, submits)
+	}
+}
+
+// Regression: a crash between artifact.Create and the header
+// write/sync leaves a .cells file shorter than one header. runJob used
+// to artifact.Open it, fail, and fail identically on every resubmit —
+// the job was wedged forever even though the log provably held zero
+// verified records. OpenOrCreate recreates such a file, so the
+// resubmit must now run to done.
+func TestTornHeaderCellsRecovers(t *testing.T) {
+	dir := t.TempDir()
+	spec := specNormalized(tinySpec())
+	id := jobID(spec)
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, id+".spec.json"), append(data, '\n'), 0o644); err != nil {
+		t.Fatalf("writing spec: %v", err)
+	}
+	// 7 bytes: torn mid-header, no record could have been appended.
+	if err := os.WriteFile(filepath.Join(dir, id+".cells"), []byte("LLCA\x01\x00\x00"), 0o644); err != nil {
+		t.Fatalf("writing torn log: %v", err)
+	}
+
+	_, ts, _ := startServer(t, dir)
+	code, j := postSpec(t, ts, tinySpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit of interrupted job: status %d, want 202", code)
+	}
+	done := waitState(t, ts, j.ID, "done", func(j job) bool { return j.State == stateDone })
+	if done.Error != "" || done.Done != 4 {
+		t.Fatalf("job after torn-header recovery = %+v", done)
+	}
+}
+
+// Regression: runJob resets j.events when a rerun starts, but a
+// connected /events client kept its old slice index and silently
+// skipped the first i events of the new run. The generation counter
+// must make the stream replay the rerun from its first event.
+func TestEventsReplayAfterResubmit(t *testing.T) {
+	s, err := newServer(t.TempDir(), serverOptions{workers: 1})
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	// No runner yet: the job stays queued, exactly the window between a
+	// resubmit and its rerun starting.
+	_, j0 := postSpec(t, ts, tinySpec())
+
+	// A resubmit re-enqueues without clearing events, so a stale backlog
+	// from the previous run is still attached. Fabricate one with Done
+	// values no real 4-cell run produces.
+	const fakes = 4
+	s.mu.Lock()
+	jj := s.jobs[j0.ID]
+	for i := range fakes {
+		jj.events = append(jj.events, campaign.Event{Cell: i, Done: 100 + i, Total: 4})
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + j0.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	stale := 0
+	for stale < fakes && sc.Scan() {
+		var ev campaign.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("decoding stale event: %v", err)
+		}
+		if ev.Done < 100 {
+			t.Fatalf("expected fabricated backlog first, got %+v", ev)
+		}
+		stale++
+	}
+	if stale != fakes {
+		t.Fatalf("read %d of %d stale events before stream ended", stale, fakes)
+	}
+
+	// The client is parked at index == fakes. Now let the rerun start
+	// and reset the backlog.
+	ctx, cancel := context.WithCancel(context.Background())
+	s.start(ctx)
+	t.Cleanup(func() {
+		cancel()
+		s.wait()
+	})
+
+	var live []campaign.Event
+	for sc.Scan() {
+		var ev campaign.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("decoding live event: %v", err)
+		}
+		live = append(live, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("events stream: %v", err)
+	}
+	if len(live) != 4 || live[0].Done != 1 || live[3].Done != 4 {
+		t.Fatalf("rerun stream = %+v, want the full run replayed from Done=1", live)
+	}
+}
+
+// Two jobs must run simultaneously under -jobs 2; the FIFO-of-one this
+// replaced could never reach that state.
+func TestConcurrentJobsRunTogether(t *testing.T) {
+	s, err := newServer(t.TempDir(), serverOptions{workers: 2, jobs: 2})
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.start(ctx)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(func() {
+		ts.Close()
+		cancel()
+		s.wait()
+	})
+
+	a := slowSpec()
+	b := slowSpec()
+	b.Seed = 11
+	_, ja := postSpec(t, ts, a)
+	_, jb := postSpec(t, ts, b)
+	deadline := time.Now().Add(time.Minute)
+	for {
+		sa := getStatus(t, ts, ja.ID).State
+		sb := getStatus(t, ts, jb.ID).State
+		if sa == stateRunning && sb == stateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs never ran concurrently: %s / %s", sa, sb)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, id := range []string{ja.ID, jb.ID} {
+		resp, err := http.Post(ts.URL+"/api/v1/jobs/"+id+"/cancel", "", nil)
+		if err != nil {
+			t.Fatalf("cancel: %v", err)
+		}
+		resp.Body.Close()
+		waitState(t, ts, id, "terminal", func(j job) bool {
+			return j.State == stateCancelled || j.State == stateDone
+		})
+	}
+}
+
+// Retention reaps only done jobs — oldest first past the count limit or
+// the age limit — and removes the whole spec/cells/result triple plus
+// the jobs-map entry. Non-terminal jobs keep their files no matter how
+// old they are.
+func TestRetentionGC(t *testing.T) {
+	dir := t.TempDir()
+	s, err := newServer(dir, serverOptions{workers: 1, retainAge: time.Hour, retainCount: 1})
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	plant := func(id string, state jobState, doneAt time.Time) {
+		t.Helper()
+		for _, p := range []string{s.specPath(id), s.cellsPath(id), s.resultPath(id)} {
+			if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+				t.Fatalf("planting %s: %v", p, err)
+			}
+		}
+		s.jobs[id] = &job{ID: id, State: state, doneAt: doneAt}
+	}
+	const (
+		oldDone = "00000000000000aa" // reaped: past the count limit and the age limit
+		newDone = "00000000000000bb" // kept: newest done job, within age
+		wedged  = "00000000000000cc" // interrupted: never a GC candidate
+	)
+	plant(oldDone, stateDone, time.Now().Add(-2*time.Hour))
+	plant(newDone, stateDone, time.Now())
+	plant(wedged, stateInterrupted, time.Now().Add(-48*time.Hour))
+
+	s.gc()
+
+	s.mu.Lock()
+	_, hasOld := s.jobs[oldDone]
+	_, hasNew := s.jobs[newDone]
+	_, hasWedged := s.jobs[wedged]
+	s.mu.Unlock()
+	if hasOld || !hasNew || !hasWedged {
+		t.Fatalf("jobs after gc: old=%v new=%v interrupted=%v, want false/true/true", hasOld, hasNew, hasWedged)
+	}
+	for id, want := range map[string]bool{oldDone: false, newDone: true, wedged: true} {
+		for _, p := range []string{s.specPath(id), s.cellsPath(id), s.resultPath(id)} {
+			_, err := os.Stat(p)
+			if got := err == nil; got != want {
+				t.Fatalf("%s: exists=%v, want %v", p, got, want)
+			}
+		}
 	}
 }

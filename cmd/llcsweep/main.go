@@ -25,6 +25,15 @@
 //	}
 //
 // Flags override spec-file fields; unset axes take defaults.
+//
+// One grid can also span several PROCESSES or machines: `-shard i/N
+// -checkpoint shard_i.cells` runs the i-th round-robin slice of the
+// grid into its own checkpoint log, `-merge a.cells,b.cells,...
+// -checkpoint merged.cells` reassembles the shard logs into one log
+// byte-identical to a sequential single-process run's, and a final
+// `-checkpoint merged.cells -resume` (or cmd/llccells) renders the
+// aggregate artifact — byte-identical to running the grid in one
+// process.
 package main
 
 import (
@@ -87,6 +96,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		outFile  = fs.String("o", "", "write the artifact to a file instead of stdout")
 		ckptFile = fs.String("checkpoint", "", "binary cell-result log: append each completed cell so an interrupted grid can resume")
 		resume   = fs.Bool("resume", false, "with -checkpoint: reuse an existing log, skipping checksum-verified cells")
+		shard    = fs.String("shard", "", "run one deterministic grid slice i/N (round-robin by cell index) into -checkpoint; N processes with N logs cover the grid")
+		merge    = fs.String("merge", "", "comma-separated shard checkpoint logs to merge into -checkpoint (byte-identical to a sequential single-process log)")
 		list     = fs.Bool("list", false, "list cell experiment ids")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep run to this file")
 		memProf  = fs.String("memprofile", "", "write a post-run pprof heap profile to this file")
@@ -189,6 +200,52 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "llcsweep: -resume requires -checkpoint")
 		return 2
 	}
+	var shardIdx, shardCnt int
+	if *shard != "" {
+		shardIdx, shardCnt, err = parseShard(*shard)
+		if err != nil {
+			fmt.Fprintf(stderr, "llcsweep: %v\n", err)
+			return 2
+		}
+		if *merge != "" {
+			fmt.Fprintln(stderr, "llcsweep: -shard and -merge are mutually exclusive")
+			return 2
+		}
+		if *ckptFile == "" {
+			fmt.Fprintln(stderr, "llcsweep: -shard requires -checkpoint (the shard's log is its only output)")
+			return 2
+		}
+		if *outFile != "" || *asCSV {
+			fmt.Fprintln(stderr, "llcsweep: a shard run produces no aggregate artifact; drop -o/-csv and merge the shard logs instead")
+			return 2
+		}
+	}
+	if *merge != "" {
+		// Merge mode: no cells run. The grid flags/spec name the campaign
+		// the shard logs belong to; -checkpoint is the merged destination.
+		if *ckptFile == "" {
+			fmt.Fprintln(stderr, "llcsweep: -merge requires -checkpoint as the destination log")
+			return 2
+		}
+		if *resume {
+			fmt.Fprintln(stderr, "llcsweep: -merge and -resume are mutually exclusive (resume against the merged log afterwards)")
+			return 2
+		}
+		srcs, err := mergeStrings(nil, *merge)
+		if err != nil {
+			fmt.Fprintf(stderr, "llcsweep: %v\n", err)
+			return 2
+		}
+		st, err := campaign.Merge(spec, *ckptFile, srcs)
+		if err != nil {
+			fmt.Fprintf(stderr, "llcsweep: %v\n", err)
+			return 1
+		}
+		missing := len(sweep.Expand(spec)) - st.Records
+		fmt.Fprintf(stderr, "llcsweep: merged %d log(s) into %s: %d cell record(s), %d duplicate(s) deduped, %d grid cell(s) still missing\n",
+			st.Sources, *ckptFile, st.Records, st.Deduped, missing)
+		return 0
+	}
 
 	// Checkpoint log: open-or-create before the temp artifact so a bad
 	// checkpoint (wrong spec, unreadable path) fails before any compute.
@@ -203,6 +260,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				return 2
 			}
 			l, err := artifact.Open(*ckptFile, fp)
+			var short *artifact.ErrShortHeader
+			if errors.As(err, &short) {
+				// A crash between checkpoint creation and the header sync
+				// leaves a file too short to hold any verified record; it
+				// must recreate, not wedge every resume forever.
+				fmt.Fprintf(stderr, "llcsweep: resume: checkpoint %s holds no verified records (torn header); recreating\n", *ckptFile)
+				if rerr := os.Remove(*ckptFile); rerr != nil {
+					fmt.Fprintf(stderr, "llcsweep: %v\n", rerr)
+					return 2
+				}
+				l, err = artifact.Create(*ckptFile, fp)
+			}
 			if err != nil {
 				fmt.Fprintf(stderr, "llcsweep: %v\n", err)
 				return 2
@@ -281,8 +350,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		// byte-identical to the flattened sweep.Run path).
 		var stats *campaign.Stats
 		res, stats, err = campaign.Run(ctx, spec, campaign.Options{
-			Workers: *parallel,
-			Log:     ckpt,
+			Workers:    *parallel,
+			Log:        ckpt,
+			ShardIndex: shardIdx,
+			ShardCount: shardCnt,
 			OnCell: func(ev campaign.Event) {
 				if ev.Skipped {
 					return // summarised once below; grids can have many cells
@@ -293,6 +364,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if stats != nil && stats.Skipped > 0 {
 			fmt.Fprintf(stderr, "llcsweep: resume: skipped %d verified cell(s), ran %d of %d\n",
 				stats.Skipped, stats.Ran, stats.Cells)
+		}
+		if err == nil && shardCnt > 0 {
+			// A shard's output is its checkpoint log; there is nothing to
+			// aggregate until the shard logs are merged.
+			if perr := stopProf(); perr != nil {
+				return fail(perr)
+			}
+			fmt.Fprintf(stderr, "llcsweep: shard %d/%d: ran %d and skipped %d of its %d cell(s), wall time %s\n",
+				shardIdx, shardCnt, stats.Ran, stats.Skipped, stats.Cells, time.Since(start).Round(time.Millisecond))
+			return 0
 		}
 	} else {
 		res, err = sweep.Run(ctx, spec, *parallel)
@@ -331,6 +412,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	return 0
+}
+
+// parseShard parses a -shard value "i/N" into (i, N), requiring
+// 0 <= i < N.
+func parseShard(s string) (int, int, error) {
+	is, ns, ok := strings.Cut(s, "/")
+	if ok {
+		i, err1 := strconv.Atoi(strings.TrimSpace(is))
+		n, err2 := strconv.Atoi(strings.TrimSpace(ns))
+		if err1 == nil && err2 == nil && n >= 1 && i >= 0 && i < n {
+			return i, n, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("bad -shard %q: want i/N with 0 <= i < N", s)
 }
 
 // mergeStrings overrides base with the comma-separated flag value when

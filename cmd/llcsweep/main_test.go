@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -177,5 +178,128 @@ func TestInterruptRemovesTempArtifact(t *testing.T) {
 	}
 	if !strings.Contains(childErr.String(), "context canceled") && !strings.Contains(childErr.String(), "interrupt") {
 		t.Fatalf("child stderr does not attribute the failure to the signal: %s", childErr.String())
+	}
+}
+
+// TestShardMergeCLI is the end-to-end tentpole flow at the CLI level:
+// run the grid as 3 separate -shard invocations, -merge the logs, and
+// require the merged log byte-identical to a sequential
+// single-process checkpoint plus a resume that skips every cell and
+// emits the byte-identical artifact.
+func TestShardMergeCLI(t *testing.T) {
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.cells")
+
+	var refOut, stderr bytes.Buffer
+	if code := run(context.Background(), tinyArgs("-parallel", "1", "-checkpoint", ref), &refOut, &stderr); code != 0 {
+		t.Fatalf("reference run: exit %d, stderr: %s", code, stderr.String())
+	}
+
+	var shardLogs []string
+	for i := range 3 {
+		p := filepath.Join(dir, fmt.Sprintf("s%d.cells", i))
+		shardLogs = append(shardLogs, p)
+		var stdout bytes.Buffer
+		stderr.Reset()
+		code := run(context.Background(), tinyArgs("-shard", fmt.Sprintf("%d/3", i), "-checkpoint", p), &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("shard %d: exit %d, stderr: %s", i, code, stderr.String())
+		}
+		if stdout.Len() != 0 {
+			t.Fatalf("shard %d wrote an artifact to stdout: %q", i, stdout.String())
+		}
+		if !strings.Contains(stderr.String(), fmt.Sprintf("shard %d/3", i)) {
+			t.Fatalf("shard %d summary missing: %s", i, stderr.String())
+		}
+	}
+
+	merged := filepath.Join(dir, "merged.cells")
+	var stdout bytes.Buffer
+	stderr.Reset()
+	code := run(context.Background(), tinyArgs("-merge", strings.Join(shardLogs, ","), "-checkpoint", merged), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("merge: exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "merged 3 log(s)") || !strings.Contains(stderr.String(), "0 grid cell(s) still missing") {
+		t.Fatalf("merge summary missing: %s", stderr.String())
+	}
+	refBytes, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refBytes, gotBytes) {
+		t.Fatal("merged log differs from the single-process checkpoint log")
+	}
+
+	var resumed bytes.Buffer
+	stderr.Reset()
+	if code := run(context.Background(), tinyArgs("-checkpoint", merged, "-resume"), &resumed, &stderr); code != 0 {
+		t.Fatalf("resume from merged: exit %d, stderr: %s", code, stderr.String())
+	}
+	if !bytes.Equal(refOut.Bytes(), resumed.Bytes()) {
+		t.Fatal("artifact resumed from the merged log differs from the single-process artifact")
+	}
+	if !strings.Contains(stderr.String(), "skipped 4 verified cell(s), ran 0 of 4") {
+		t.Fatalf("resume after merge re-ran cells: %s", stderr.String())
+	}
+}
+
+// TestShardMergeFlagValidation pins the usage errors: malformed -shard
+// values, -shard without -checkpoint or with artifact outputs, -merge
+// with -resume, and -shard with -merge are all exit 2 before any work.
+func TestShardMergeFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "x.cells")
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad shard syntax", tinyArgs("-shard", "nope", "-checkpoint", ck), "bad -shard"},
+		{"shard index out of range", tinyArgs("-shard", "3/3", "-checkpoint", ck), "bad -shard"},
+		{"negative shard", tinyArgs("-shard", "-1/3", "-checkpoint", ck), "bad -shard"},
+		{"shard needs checkpoint", tinyArgs("-shard", "0/3"), "-shard requires -checkpoint"},
+		{"shard rejects -o", tinyArgs("-shard", "0/3", "-checkpoint", ck, "-o", filepath.Join(dir, "o.json")), "produces no aggregate artifact"},
+		{"merge needs checkpoint", tinyArgs("-merge", "a.cells,b.cells"), "-merge requires -checkpoint"},
+		{"merge rejects resume", tinyArgs("-merge", "a.cells,b.cells", "-checkpoint", ck, "-resume"), "-merge and -resume"},
+		{"shard and merge exclusive", tinyArgs("-shard", "0/3", "-merge", "a.cells", "-checkpoint", ck), "mutually exclusive"},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(context.Background(), tc.args, &stdout, &stderr); code != 2 {
+			t.Fatalf("%s: exit %d, want 2; stderr: %s", tc.name, code, stderr.String())
+		}
+		if !strings.Contains(stderr.String(), tc.want) {
+			t.Fatalf("%s: stderr %q does not contain %q", tc.name, stderr.String(), tc.want)
+		}
+	}
+}
+
+// TestResumeRecreatesTornHeader: a checkpoint torn before the header
+// sync holds zero verified records; -resume must recreate it and run
+// the full grid instead of failing forever.
+func TestResumeRecreatesTornHeader(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "torn.cells")
+	if err := os.WriteFile(ck, []byte("LLCA\x01\x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var flat, got, stderr bytes.Buffer
+	if code := run(context.Background(), tinyArgs(), &flat, &stderr); code != 0 {
+		t.Fatalf("flat run: exit %d, stderr: %s", code, stderr.String())
+	}
+	stderr.Reset()
+	if code := run(context.Background(), tinyArgs("-checkpoint", ck, "-resume"), &got, &stderr); code != 0 {
+		t.Fatalf("resume over torn header: exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "recreating") {
+		t.Fatalf("recovery notice missing: %s", stderr.String())
+	}
+	if !bytes.Equal(flat.Bytes(), got.Bytes()) {
+		t.Fatal("artifact after torn-header recovery differs from the flat run")
 	}
 }

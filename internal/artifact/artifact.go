@@ -29,7 +29,9 @@
 package artifact
 
 import (
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -138,6 +140,47 @@ func (e *ErrFingerprint) Error() string {
 	return fmt.Sprintf("artifact: %s was checkpointed by a different spec (fingerprint %016x, want %016x)", e.Path, e.Got, e.Want)
 }
 
+// ErrShortHeader reports a file too short to hold even the log header:
+// a crash between Create and the header write/sync leaves exactly this
+// shape behind. Such a file cannot contain a verified record, so unlike
+// every other open failure it is safe to recreate — OpenOrCreate does,
+// and CLIs surface the recovery instead of wedging on every retry.
+type ErrShortHeader struct {
+	Path string
+	Size int64
+}
+
+// Error implements the error interface.
+func (e *ErrShortHeader) Error() string {
+	return fmt.Sprintf("artifact: %s: truncated header (%d bytes, no verified records)", e.Path, e.Size)
+}
+
+// OpenOrCreate is the resumable open every retry loop wants: a missing
+// file is created, an existing log is opened (with the usual fingerprint
+// check and tail/duplicate repairs), and a torn header — the residue of
+// a crash between Create and its header sync, which can never hold a
+// verified record — is recreated in place rather than returned as a
+// permanent error. Every other failure (foreign file, version or
+// fingerprint mismatch, I/O error) stays hard: those logs may hold real
+// records and must never be silently destroyed.
+func OpenOrCreate(path string, fingerprint uint64) (*Log, error) {
+	if _, err := os.Stat(path); err != nil {
+		if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("artifact: %w", err)
+		}
+		return Create(path, fingerprint)
+	}
+	l, err := Open(path, fingerprint)
+	var short *ErrShortHeader
+	if errors.As(err, &short) {
+		if rerr := os.Remove(path); rerr != nil {
+			return nil, fmt.Errorf("artifact: recreating %s: %w", path, rerr)
+		}
+		return Create(path, fingerprint)
+	}
+	return l, err
+}
+
 // load scans the log, building the index and repairing the file (tail
 // truncation, duplicate compaction) as described in the package
 // comment.
@@ -147,7 +190,7 @@ func (l *Log) load(fingerprint uint64) error {
 		return fmt.Errorf("artifact: %s: %w", l.path, err)
 	}
 	if len(data) < headerSize {
-		return fmt.Errorf("artifact: %s: truncated header (%d bytes)", l.path, len(data))
+		return &ErrShortHeader{Path: l.path, Size: int64(len(data))}
 	}
 	if m := binary.LittleEndian.Uint32(data[0:4]); m != Magic {
 		return fmt.Errorf("artifact: %s: bad magic %#x", l.path, m)
@@ -373,3 +416,108 @@ func (l *Log) Close() error {
 
 // Path returns the log's file path.
 func (l *Log) Path() string { return l.path }
+
+// MergeOptions configures Merge.
+type MergeOptions struct {
+	// Order is the canonical key sequence of the merged log: records are
+	// written in this order regardless of which source held them or in
+	// what order, which is what makes the merged file deterministic (and
+	// byte-identical to a sequential single-process run, whose appends
+	// follow the same order). A key present in a source but absent from
+	// Order is an error — it cannot belong to the grid the fingerprint
+	// names.
+	Order []string
+	// Validate, when non-nil, checks each surviving record before
+	// anything is written; the first error aborts the merge with no
+	// destination file created. The campaign layer uses it to require
+	// payloads that decode to the spec's exact trial count.
+	Validate func(key string, payload []byte) error
+}
+
+// MergeStats summarises a completed Merge.
+type MergeStats struct {
+	// Sources is the number of source logs read.
+	Sources int
+	// Records is the number of records written to the destination.
+	Records int
+	// Deduped counts key collisions between sources whose payloads were
+	// byte-equal and therefore collapsed to one record.
+	Deduped int
+}
+
+// Merge combines verified per-shard logs into one log at dstPath, which
+// must not already exist. Every source must carry the same fingerprint
+// (each shard of one campaign does); each source is opened with the
+// usual repairs, so torn tails and intra-source duplicates are dropped
+// before merging. Across sources, two records claiming one key are
+// deduplicated when their payloads are byte-equal and are an error when
+// they differ — differing payloads mean the sources disagree about a
+// cell's samples, and guessing would silently corrupt the artifact.
+// Records land in opts.Order; a failed merge never leaves a partial
+// destination behind.
+func Merge(dstPath string, fingerprint uint64, opts MergeOptions, srcPaths ...string) (*MergeStats, error) {
+	if len(srcPaths) == 0 {
+		return nil, fmt.Errorf("artifact: merge: no source logs")
+	}
+	inOrder := make(map[string]bool, len(opts.Order))
+	for _, k := range opts.Order {
+		inOrder[k] = true
+	}
+	st := &MergeStats{Sources: len(srcPaths)}
+	merged := make(map[string][]byte)
+	from := make(map[string]string) // key -> source path, for conflict errors
+	for _, sp := range srcPaths {
+		src, err := Open(sp, fingerprint)
+		if err != nil {
+			return nil, err
+		}
+		for _, key := range src.Keys() {
+			payload, _ := src.Get(key)
+			if !inOrder[key] {
+				src.Close()
+				return nil, fmt.Errorf("artifact: merge: %s holds key %q which is not a cell of this grid", sp, key)
+			}
+			if prev, seen := merged[key]; seen {
+				if !bytes.Equal(prev, payload) {
+					src.Close()
+					return nil, fmt.Errorf("artifact: merge: %s and %s disagree about cell %q", from[key], sp, key)
+				}
+				st.Deduped++
+				continue
+			}
+			merged[key] = append([]byte(nil), payload...)
+			from[key] = sp
+		}
+		src.Close()
+	}
+	if opts.Validate != nil {
+		for _, key := range opts.Order {
+			if payload, ok := merged[key]; ok {
+				if err := opts.Validate(key, payload); err != nil {
+					return nil, fmt.Errorf("artifact: merge: cell %q from %s: %w", key, from[key], err)
+				}
+			}
+		}
+	}
+	dst, err := Create(dstPath, fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	for _, key := range opts.Order {
+		payload, ok := merged[key]
+		if !ok {
+			continue // shard not run (or cell lost); resume computes it
+		}
+		if err := dst.Append(key, payload); err != nil {
+			dst.Close()
+			os.Remove(dstPath)
+			return nil, err
+		}
+		st.Records++
+	}
+	if err := dst.Close(); err != nil {
+		os.Remove(dstPath)
+		return nil, fmt.Errorf("artifact: %s: %w", dstPath, err)
+	}
+	return st, nil
+}

@@ -271,3 +271,175 @@ func TestGarbageHeaderRejected(t *testing.T) {
 		t.Fatal("Open accepted an unsupported version")
 	}
 }
+
+// TestShortHeaderIsTyped: any file shorter than one header is the
+// typed ErrShortHeader — the recoverable "crash before the header
+// sync" case — while a full-size garbage header stays an ordinary
+// hard error.
+func TestShortHeaderIsTyped(t *testing.T) {
+	dir := t.TempDir()
+	for _, n := range []int{0, 1, 7, 15} {
+		p := filepath.Join(dir, "torn.cells")
+		if err := os.WriteFile(p, bytes.Repeat([]byte{0x4c}, n), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Open(p, fp)
+		var short *ErrShortHeader
+		if !errors.As(err, &short) {
+			t.Fatalf("%d-byte file: err = %v, want ErrShortHeader", n, err)
+		}
+		if short.Size != int64(n) {
+			t.Fatalf("ErrShortHeader.Size = %d, want %d", short.Size, n)
+		}
+	}
+	p := filepath.Join(dir, "garbage.cells")
+	if err := os.WriteFile(p, bytes.Repeat([]byte{0x4c}, headerSize), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(p, fp)
+	var short *ErrShortHeader
+	if err == nil || errors.As(err, &short) {
+		t.Fatalf("full-size garbage header: err = %v, want a hard (non-short) error", err)
+	}
+}
+
+// TestOpenOrCreate covers the recovery matrix: missing file created,
+// valid log opened with its records, torn header recreated empty, and
+// every hard failure (wrong fingerprint, garbage) passed through.
+func TestOpenOrCreate(t *testing.T) {
+	dir := t.TempDir()
+
+	p := filepath.Join(dir, "fresh.cells")
+	l, err := OpenOrCreate(p, fp)
+	if err != nil {
+		t.Fatalf("missing file: %v", err)
+	}
+	if err := l.Append("cell", []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l, err = OpenOrCreate(p, fp)
+	if err != nil {
+		t.Fatalf("existing log: %v", err)
+	}
+	if got, ok := l.Get("cell"); !ok || !bytes.Equal(got, []byte{1, 2}) {
+		t.Fatalf("existing log lost its record: %v %v", got, ok)
+	}
+	l.Close()
+
+	torn := filepath.Join(dir, "torn.cells")
+	if err := os.WriteFile(torn, []byte("LLCA\x01\x00\x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err = OpenOrCreate(torn, fp)
+	if err != nil {
+		t.Fatalf("torn header: %v", err)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("recreated log has %d records", l.Len())
+	}
+	if err := l.Append("cell", []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if re, err := Open(torn, fp); err != nil || re.Len() != 1 {
+		t.Fatalf("recreated log did not survive reopen: %v", err)
+	} else {
+		re.Close()
+	}
+
+	if _, err := OpenOrCreate(p, fp+1); err == nil {
+		t.Fatal("wrong fingerprint must stay a hard error")
+	}
+	garbage := filepath.Join(dir, "garbage.cells")
+	if err := os.WriteFile(garbage, bytes.Repeat([]byte{9}, 64), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenOrCreate(garbage, fp); err == nil {
+		t.Fatal("garbage header must stay a hard error")
+	}
+}
+
+// TestMergeUnit exercises Merge at the record level: ordering by
+// opts.Order regardless of source order, equal-payload dedupe,
+// conflicting-payload abort, foreign-key abort, Validate veto, and
+// refusal to overwrite an existing destination.
+func TestMergeUnit(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name string, cells map[string][]byte) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		l, err := Create(p, fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Map iteration scrambles append order on purpose: Merge must
+		// normalise to opts.Order anyway.
+		for k, v := range cells {
+			if err := l.Append(k, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		l.Close()
+		return p
+	}
+	order := []string{"a", "b", "c", "d"}
+
+	a := mk("a.cells", map[string][]byte{"c": {3}, "a": {1}})
+	b := mk("b.cells", map[string][]byte{"b": {2}, "c": {3}}) // c duplicates a's byte-equal record
+	dst := filepath.Join(dir, "merged.cells")
+	st, err := Merge(dst, fp, MergeOptions{Order: order}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sources != 2 || st.Records != 3 || st.Deduped != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	m, err := Open(dst, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Keys(); len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("merged key order = %v, want [a b c]", got)
+	}
+	m.Close()
+
+	// An existing destination is never clobbered.
+	if _, err := Merge(dst, fp, MergeOptions{Order: order}, a); err == nil {
+		t.Fatal("Merge overwrote an existing destination")
+	}
+
+	conflict := mk("conflict.cells", map[string][]byte{"a": {9}})
+	d2 := filepath.Join(dir, "d2.cells")
+	if _, err := Merge(d2, fp, MergeOptions{Order: order}, a, conflict); err == nil {
+		t.Fatal("conflicting payloads merged")
+	}
+	if _, serr := os.Stat(d2); serr == nil {
+		t.Fatal("failed merge left a destination")
+	}
+
+	foreign := mk("foreign.cells", map[string][]byte{"zz": {1}})
+	if _, err := Merge(filepath.Join(dir, "d3.cells"), fp, MergeOptions{Order: order}, foreign); err == nil {
+		t.Fatal("key outside Order merged")
+	}
+
+	veto := func(key string, payload []byte) error {
+		if key == "c" {
+			return errors.New("vetoed")
+		}
+		return nil
+	}
+	if _, err := Merge(filepath.Join(dir, "d4.cells"), fp, MergeOptions{Order: order, Validate: veto}, a); err == nil {
+		t.Fatal("Validate veto ignored")
+	}
+
+	if _, err := Merge(filepath.Join(dir, "d5.cells"), fp, MergeOptions{Order: order}); err == nil {
+		t.Fatal("merge with zero sources must fail")
+	}
+
+	// Wrong-fingerprint sources are rejected by the usual Open check.
+	if _, err := Merge(filepath.Join(dir, "d6.cells"), fp+1, MergeOptions{Order: order}, a); err == nil {
+		t.Fatal("source with foreign fingerprint merged")
+	}
+}

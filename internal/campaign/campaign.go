@@ -19,6 +19,14 @@
 // discipline the trial engine uses one level down. The flattened
 // single-call path (sweep.Run) remains the fastest way to run a grid
 // that fits in one sitting; this package is for grids that might not.
+//
+// One campaign can also span PROCESSES or machines: Options.ShardCount
+// slices the grid round-robin into disjoint shards, each shard run
+// checkpoints into its own log, and Merge reassembles the per-shard
+// logs into one log byte-identical to what an uninterrupted sequential
+// single-process run would have written (determinism clause 8). The
+// artifact log is the only rendezvous — shards share no state and need
+// no coordinator while running.
 package campaign
 
 import (
@@ -99,28 +107,55 @@ type Options struct {
 	// OnCell, when non-nil, observes per-cell completions (checkpoint
 	// skips included), serialized, in completion order.
 	OnCell func(Event)
+	// ShardCount > 0 restricts the run to one deterministic slice of the
+	// grid: the cells whose Expand index ci satisfies ci % ShardCount ==
+	// ShardIndex. Round-robin assignment keeps every shard a cross-
+	// section of the grid (no shard gets all the slow cells of one
+	// experiment), and N shard runs with N disjoint checkpoint logs can
+	// execute as separate processes or machines — artifact.Merge (via
+	// Merge here) is the rendezvous that reassembles them. A sharded run
+	// cannot aggregate (it has only its slice), so Run returns a nil
+	// Result; Stats counts the shard's cells only.
+	ShardIndex, ShardCount int
 }
 
 // Run executes the spec as a resumable campaign and returns the same
 // Result sweep.Run would produce (byte-identical once encoded), plus
 // run statistics. Cancelling ctx stops the campaign between trials;
 // cells checkpointed before the cancellation are never lost, and the
-// error reports how far the run got via Stats.
+// error reports how far the run got via Stats. A sharded run
+// (Options.ShardCount > 0) computes only its slice of the grid and
+// returns a nil Result — merging the shard logs and resuming (or
+// exporting) is how the aggregate is assembled.
 func Run(ctx context.Context, spec sweep.Spec, opts Options) (*sweep.Result, *Stats, error) {
 	spec.Normalize()
 	if err := spec.Validate(); err != nil {
 		return nil, nil, err
 	}
+	if opts.ShardCount < 0 {
+		return nil, nil, fmt.Errorf("campaign: shard count %d is negative", opts.ShardCount)
+	}
+	if opts.ShardCount > 0 && (opts.ShardIndex < 0 || opts.ShardIndex >= opts.ShardCount) {
+		return nil, nil, fmt.Errorf("campaign: shard index %d out of range [0, %d)", opts.ShardIndex, opts.ShardCount)
+	}
 	cls := sweep.Expand(spec)
 	n := spec.Trials
-	st := &Stats{Cells: len(cls)}
+	// mine is the slice of Expand indices this run owns: everything, or
+	// the round-robin residue class of the shard.
+	mine := make([]int, 0, len(cls))
+	for ci := range cls {
+		if opts.ShardCount <= 0 || ci%opts.ShardCount == opts.ShardIndex {
+			mine = append(mine, ci)
+		}
+	}
+	st := &Stats{Cells: len(mine)}
 	if opts.Log != nil {
 		st.DroppedTail = opts.Log.DroppedTail
 		st.DroppedDuplicates = opts.Log.DroppedDuplicates
 	}
 
 	samples := make([][]experiments.Sample, len(cls))
-	pending := make([]int, 0, len(cls))
+	pending := make([]int, 0, len(mine))
 	var done atomic.Int64
 
 	// emit serialises OnCell callbacks and checkpoint appends; the log
@@ -130,7 +165,7 @@ func Run(ctx context.Context, spec sweep.Spec, opts Options) (*sweep.Result, *St
 		mu.Lock()
 		defer mu.Unlock()
 		if !skipped && opts.Log != nil {
-			if err := opts.Log.Append(cls[ci].Key, encodeSamples(samples[ci])); err != nil {
+			if err := opts.Log.Append(cls[ci].Key, EncodeSamples(samples[ci])); err != nil {
 				return err
 			}
 		}
@@ -140,7 +175,7 @@ func Run(ctx context.Context, spec sweep.Spec, opts Options) (*sweep.Result, *St
 				Key:     cls[ci].Key,
 				Coords:  cls[ci].Coords(),
 				Done:    int(done.Add(1)),
-				Total:   len(cls),
+				Total:   len(mine),
 				Skipped: skipped,
 			})
 		} else {
@@ -152,10 +187,10 @@ func Run(ctx context.Context, spec sweep.Spec, opts Options) (*sweep.Result, *St
 	// Restore phase: a cell whose record decodes to exactly n samples is
 	// skipped; anything else re-runs (a record that fails its checksum
 	// never reaches here — artifact.Open already dropped it).
-	for ci := range cls {
+	for _, ci := range mine {
 		if opts.Log != nil {
 			if payload, ok := opts.Log.Get(cls[ci].Key); ok {
-				if ss, err := decodeSamples(payload, n); err == nil {
+				if ss, err := DecodeSamples(payload, n); err == nil {
 					samples[ci] = ss
 					st.Skipped++
 					if err := emit(ci, true); err != nil {
@@ -234,6 +269,11 @@ func Run(ctx context.Context, spec sweep.Spec, opts Options) (*sweep.Result, *St
 	if err := ctx.Err(); err != nil {
 		return nil, st, fmt.Errorf("campaign: %w", context.Cause(ctx))
 	}
+	if opts.ShardCount > 0 {
+		// A shard holds only its slice of the samples; the aggregate is
+		// assembled later from the merged logs.
+		return nil, st, nil
+	}
 
 	flat := make([]experiments.Sample, 0, len(cls)*n)
 	for _, ss := range samples {
@@ -249,16 +289,46 @@ type cellError struct {
 	err  error
 }
 
+// Merge combines per-shard checkpoint logs into one log at dstPath
+// that is byte-identical to the log an uninterrupted sequential
+// single-process run of the same spec would have written (determinism
+// clause 8: records land in the grid's Expand order, which is the
+// order a one-worker campaign appends them). Every source must be
+// fingerprinted by this spec; a key two sources disagree about is an
+// error, byte-equal duplicates dedupe, and every surviving payload
+// must decode to exactly the spec's trial count. Missing cells are
+// fine — the merged log is a valid partial checkpoint that a resumed
+// run (or an export's cells-missing report) completes.
+func Merge(spec sweep.Spec, dstPath string, srcPaths []string) (*artifact.MergeStats, error) {
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cls := sweep.Expand(spec)
+	order := make([]string, len(cls))
+	for i, c := range cls {
+		order[i] = c.Key
+	}
+	n := spec.Trials
+	return artifact.Merge(dstPath, Fingerprint(spec), artifact.MergeOptions{
+		Order: order,
+		Validate: func(key string, payload []byte) error {
+			_, err := DecodeSamples(payload, n)
+			return err
+		},
+	}, srcPaths...)
+}
+
 // sampleSize is the fixed per-trial encoding: OK byte + float64 bits.
 const sampleSize = 9
 
-// encodeSamples renders a cell's samples as the checkpoint payload: for
+// EncodeSamples renders a cell's samples as the checkpoint payload: for
 // each trial one OK byte and the value's IEEE-754 bits, little-endian.
 // Bit-exact floats are what make a resumed aggregate byte-identical to
 // an uninterrupted one. Extra scalars and series are deliberately not
 // recorded: sweep aggregation consumes only OK and Value, so recording
 // more would bloat every record for data no view reads.
-func encodeSamples(ss []experiments.Sample) []byte {
+func EncodeSamples(ss []experiments.Sample) []byte {
 	buf := make([]byte, sampleSize*len(ss))
 	for i, s := range ss {
 		off := i * sampleSize
@@ -270,9 +340,10 @@ func encodeSamples(ss []experiments.Sample) []byte {
 	return buf
 }
 
-// decodeSamples parses a checkpoint payload back into exactly n
-// samples, rejecting any other shape.
-func decodeSamples(payload []byte, n int) ([]experiments.Sample, error) {
+// DecodeSamples parses a checkpoint payload back into exactly n
+// samples, rejecting any other shape. Export views (cmd/llccells) use
+// it to render per-trial values without re-running a cell.
+func DecodeSamples(payload []byte, n int) ([]experiments.Sample, error) {
 	if len(payload) != sampleSize*n {
 		return nil, fmt.Errorf("campaign: payload holds %d bytes, want %d trials x %d", len(payload), n, sampleSize)
 	}

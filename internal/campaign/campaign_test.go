@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -244,7 +245,7 @@ func TestSampleCodecRoundTrip(t *testing.T) {
 		{OK: true, Value: math.Inf(1)},
 		{OK: true, Value: -0.0},
 	}
-	out, err := decodeSamples(encodeSamples(in), len(in))
+	out, err := DecodeSamples(EncodeSamples(in), len(in))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,12 +254,12 @@ func TestSampleCodecRoundTrip(t *testing.T) {
 			t.Fatalf("sample %d: %+v != %+v", i, out[i], in[i])
 		}
 	}
-	if _, err := decodeSamples([]byte{1, 2, 3}, len(in)); err == nil {
+	if _, err := DecodeSamples([]byte{1, 2, 3}, len(in)); err == nil {
 		t.Fatal("short payload accepted")
 	}
-	bad := encodeSamples(in)
+	bad := EncodeSamples(in)
 	bad[0] = 7
-	if _, err := decodeSamples(bad, len(in)); err == nil {
+	if _, err := DecodeSamples(bad, len(in)); err == nil {
 		t.Fatal("invalid OK byte accepted")
 	}
 }
@@ -285,7 +286,7 @@ func TestCampaignCellFailure(t *testing.T) {
 		return sweep.Expand(s)
 	}()
 	// A verified record with the wrong trial count (2 instead of 3).
-	if err := log.Append(cls[0].Key, encodeSamples(make([]experiments.Sample, 2))); err != nil {
+	if err := log.Append(cls[0].Key, EncodeSamples(make([]experiments.Sample, 2))); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := Run(context.Background(), spec, Options{Log: log}); err == nil {
@@ -376,5 +377,284 @@ func TestReflectEqualResults(t *testing.T) {
 	}
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("campaign Result differs structurally from sweep.Run")
+	}
+}
+
+// TestShardPartitionsCells: the round-robin shards of one spec are a
+// disjoint cover of the grid — every Expand key lands in exactly one
+// shard's checkpoint log, sharded runs return no Result (the slice
+// alone cannot aggregate), and shard stats sum to the full grid.
+func TestShardPartitionsCells(t *testing.T) {
+	spec := tinySpec()
+	fp := Fingerprint(spec)
+	dir := t.TempDir()
+	const shards = 3
+
+	cls := func() []sweep.Cell {
+		s := spec
+		s.Normalize()
+		return sweep.Expand(s)
+	}()
+	seen := map[string]int{}
+	totalCells := 0
+	for i := range shards {
+		path := filepath.Join(dir, "s.cells")
+		log, err := artifact.Create(path, fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, st, err := Run(context.Background(), spec, Options{
+			Workers: 1, Log: log, ShardIndex: i, ShardCount: shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != nil {
+			t.Fatalf("shard %d returned a Result; a grid slice must not aggregate", i)
+		}
+		if st.Ran != st.Cells || st.Skipped != 0 {
+			t.Fatalf("shard %d stats = %+v", i, st)
+		}
+		totalCells += st.Cells
+		for _, k := range log.Keys() {
+			seen[k]++
+		}
+		log.Close()
+		os.Remove(path)
+	}
+	if totalCells != len(cls) {
+		t.Fatalf("shards cover %d cells, grid has %d", totalCells, len(cls))
+	}
+	for _, c := range cls {
+		if seen[c.Key] != 1 {
+			t.Fatalf("cell %q owned by %d shards, want exactly 1", c.Key, seen[c.Key])
+		}
+	}
+
+	// Shard parameters outside [0, count) are refused.
+	for _, bad := range [][2]int{{-1, 3}, {3, 3}, {0, -1}} {
+		_, _, err := Run(context.Background(), spec, Options{ShardIndex: bad[0], ShardCount: bad[1]})
+		if err == nil {
+			t.Fatalf("shard %d/%d accepted", bad[0], bad[1])
+		}
+	}
+}
+
+// TestShardedMergeByteIdentical pins determinism clause 8: per-shard
+// logs merged in Expand order are byte-identical to the log a
+// sequential uninterrupted single-process run writes, and resuming
+// from the merged log yields the byte-identical artifact.
+func TestShardedMergeByteIdentical(t *testing.T) {
+	spec := tinySpec()
+	fp := Fingerprint(spec)
+	dir := t.TempDir()
+
+	refPath := filepath.Join(dir, "ref.cells")
+	ref, err := artifact.Create(refPath, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := Run(context.Background(), spec, Options{Workers: 1, Log: ref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Close()
+
+	const shards = 3
+	var srcs []string
+	for i := range shards {
+		p := filepath.Join(dir, fmt.Sprintf("s%d.cells", i))
+		log, err := artifact.Create(p, fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Workers > 1 inside a shard: append order within the shard log is
+		// nondeterministic, and the merge must still normalise it away.
+		if _, _, err := Run(context.Background(), spec, Options{
+			Workers: 2, Log: log, ShardIndex: i, ShardCount: shards,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		log.Close()
+		srcs = append(srcs, p)
+	}
+
+	mergedPath := filepath.Join(dir, "merged.cells")
+	st, err := Merge(spec, mergedPath, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := os.ReadFile(mergedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refBytes, gotBytes) {
+		t.Fatalf("merged log differs from the sequential single-process log (%d vs %d bytes)", len(gotBytes), len(refBytes))
+	}
+	if st.Deduped != 0 {
+		t.Fatalf("disjoint shards deduped %d records", st.Deduped)
+	}
+
+	merged, err := artifact.Open(mergedPath, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer merged.Close()
+	got, stats, err := Run(context.Background(), spec, Options{Workers: 4, Log: merged})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ran != 0 || stats.Skipped != stats.Cells {
+		t.Fatalf("resume from merged log re-ran cells: %+v", stats)
+	}
+	if !bytes.Equal(encodeResult(t, got), encodeResult(t, want)) {
+		t.Fatal("artifact from merged log differs from the single-process artifact")
+	}
+}
+
+// TestMergeDetectsConflictsAndDedupes: byte-equal duplicate records
+// across sources dedupe; differing payloads for one key abort the
+// merge with no destination file.
+func TestMergeDetectsConflictsAndDedupes(t *testing.T) {
+	spec := tinySpec()
+	fp := Fingerprint(spec)
+	dir := t.TempDir()
+	s := spec
+	s.Normalize()
+	cls := sweep.Expand(s)
+
+	mkLog := func(name string, fill func(*artifact.Log)) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		log, err := artifact.Create(p, fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fill(log)
+		log.Close()
+		return p
+	}
+	payload := EncodeSamples(make([]experiments.Sample, spec.Trials))
+	differs := EncodeSamples([]experiments.Sample{{OK: true, Value: 1}, {}, {}})
+
+	a := mkLog("a.cells", func(l *artifact.Log) {
+		l.Append(cls[0].Key, payload)
+		l.Append(cls[1].Key, payload)
+	})
+	dup := mkLog("dup.cells", func(l *artifact.Log) {
+		l.Append(cls[1].Key, payload) // byte-equal duplicate of a's record
+	})
+	st, err := Merge(spec, filepath.Join(dir, "ok.cells"), []string{a, dup})
+	if err != nil {
+		t.Fatalf("equal-payload duplicate: %v", err)
+	}
+	if st.Records != 2 || st.Deduped != 1 {
+		t.Fatalf("merge stats = %+v, want 2 records with 1 deduped", st)
+	}
+
+	conflict := mkLog("conflict.cells", func(l *artifact.Log) {
+		l.Append(cls[0].Key, differs)
+	})
+	dst := filepath.Join(dir, "bad.cells")
+	if _, err := Merge(spec, dst, []string{a, conflict}); err == nil {
+		t.Fatal("conflicting payloads for one key merged silently")
+	}
+	if _, serr := os.Stat(dst); serr == nil {
+		t.Fatal("failed merge left a destination file behind")
+	}
+}
+
+// TestMergePartialThenResume: merging a strict subset of shards yields
+// a valid partial log; a resumed campaign over it runs exactly the
+// missing shard and still matches the uninterrupted artifact.
+func TestMergePartialThenResume(t *testing.T) {
+	spec := tinySpec()
+	fp := Fingerprint(spec)
+	dir := t.TempDir()
+	want, err := sweep.Run(context.Background(), spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const shards = 3
+	var srcs []string
+	var shardCells [shards]int
+	for i := range shards {
+		p := filepath.Join(dir, fmt.Sprintf("s%d.cells", i))
+		log, err := artifact.Create(p, fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st, err := Run(context.Background(), spec, Options{
+			Workers: 1, Log: log, ShardIndex: i, ShardCount: shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shardCells[i] = st.Cells
+		log.Close()
+		srcs = append(srcs, p)
+	}
+
+	mergedPath := filepath.Join(dir, "partial.cells")
+	st, err := Merge(spec, mergedPath, srcs[:2]) // drop shard 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != shardCells[0]+shardCells[1] {
+		t.Fatalf("partial merge wrote %d records, want %d", st.Records, shardCells[0]+shardCells[1])
+	}
+
+	merged, err := artifact.Open(mergedPath, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer merged.Close()
+	got, stats, err := Run(context.Background(), spec, Options{Workers: 2, Log: merged})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ran != shardCells[2] || stats.Skipped != shardCells[0]+shardCells[1] {
+		t.Fatalf("resume over partial merge: %+v, want ran=%d", stats, shardCells[2])
+	}
+	if !bytes.Equal(encodeResult(t, got), encodeResult(t, want)) {
+		t.Fatal("artifact completed from a partial merge differs from uninterrupted run")
+	}
+}
+
+// TestMergeRejectsBadRecords: payloads with the wrong trial count and
+// keys outside the grid are refused before anything is written.
+func TestMergeRejectsBadRecords(t *testing.T) {
+	spec := tinySpec()
+	fp := Fingerprint(spec)
+	dir := t.TempDir()
+	s := spec
+	s.Normalize()
+	cls := sweep.Expand(s)
+
+	shortPath := filepath.Join(dir, "short.cells")
+	log, err := artifact.Create(shortPath, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Append(cls[0].Key, EncodeSamples(make([]experiments.Sample, spec.Trials-1)))
+	log.Close()
+	if _, err := Merge(spec, filepath.Join(dir, "d1.cells"), []string{shortPath}); err == nil {
+		t.Fatal("payload with the wrong trial count merged")
+	}
+
+	foreignPath := filepath.Join(dir, "foreign.cells")
+	log, err = artifact.Create(foreignPath, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Append("no|such|cell", EncodeSamples(make([]experiments.Sample, spec.Trials)))
+	log.Close()
+	if _, err := Merge(spec, filepath.Join(dir, "d2.cells"), []string{foreignPath}); err == nil {
+		t.Fatal("record for a key outside the grid merged")
 	}
 }

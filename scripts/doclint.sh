@@ -6,7 +6,8 @@
 #   2. go vet reports anything;
 #   3. any internal/ package (nested ones included) lacks a real
 #      package comment ("// Package <name> ..." above the package
-#      clause);
+#      clause), or any cmd/ package lacks a "// Command <name> ..."
+#      comment;
 #   4. any exported top-level symbol in internal/tenant,
 #      internal/defense, internal/artifact, internal/campaign or
 #      internal/cache/model (func, method, type, var, const) has no
@@ -33,6 +34,17 @@ for d in internal/*/ internal/*/*/; do
     pkg=$(basename "$d")
     if ! grep -q "^// Package $pkg" "$d"*.go; then
         echo "doclint: ${d%/} has no package comment" >&2
+        fail=1
+    fi
+done
+
+# Every command documents itself: the main package comment must open
+# with "// Command <name>" so `go doc ./cmd/<name>` explains the tool.
+for d in cmd/*/; do
+    ls "$d"*.go >/dev/null 2>&1 || continue
+    cmd=$(basename "$d")
+    if ! grep -q "^// Command $cmd" "$d"*.go; then
+        echo "doclint: ${d%/} has no \"// Command $cmd\" comment" >&2
         fail=1
     fi
 done
