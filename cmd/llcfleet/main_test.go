@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/campaign"
+	"repro/internal/serve"
+	"repro/internal/sweep"
+)
+
+func tinySpec() sweep.Spec {
+	return sweep.Spec{
+		Experiments: []string{"evset/bins", "probe/parallel"},
+		Policies:    []string{"LRU", "QLRU"},
+		Trials:      3,
+		Seed:        7,
+	}
+}
+
+func writeSpec(t *testing.T, spec sweep.Spec) string {
+	t.Helper()
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("marshal spec: %v", err)
+	}
+	p := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatalf("writing spec: %v", err)
+	}
+	return p
+}
+
+func startWorker(t *testing.T) string {
+	t.Helper()
+	s, err := serve.New(t.TempDir(), serve.Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.Start(ctx)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		cancel()
+		s.Wait()
+	})
+	return ts.URL
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-workers", "http://x", "-spec", "s.json"},  // no -o
+		{"-workers", "http://x", "-o", "out.cells"},  // no -spec
+		{"-spec", "s.json", "-o", "out.cells"},       // no -workers
+		{"-workers", " , ", "-spec", "s", "-o", "o"}, // empty worker list
+		{"-workers", "http://x", "-bogus-flag", "1"}, // unknown flag
+	} {
+		var stderr bytes.Buffer
+		if code := run(context.Background(), args, &stderr); code != 2 {
+			t.Fatalf("args %v: exit %d, want 2; stderr: %s", args, code, stderr.String())
+		}
+	}
+}
+
+func TestMissingSpecFileFails(t *testing.T) {
+	var stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-workers", "http://127.0.0.1:1",
+		"-spec", filepath.Join(t.TempDir(), "absent.json"),
+		"-o", filepath.Join(t.TempDir(), "out.cells"),
+	}, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+}
+
+// TestFleetCLIByteIdentical drives the whole CLI against three real
+// in-process daemons and byte-compares the merged artifact with a
+// sequential single-process campaign — the command-level clause 9 pin.
+func TestFleetCLIByteIdentical(t *testing.T) {
+	spec := tinySpec()
+	workers := []string{startWorker(t), startWorker(t), startWorker(t)}
+	out := filepath.Join(t.TempDir(), "merged.cells")
+
+	var stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-workers", strings.Join(workers, ","),
+		"-spec", writeSpec(t, spec),
+		"-o", out,
+		"-lease-size", "1",
+		"-lease-timeout", "20s",
+		"-poll", "10ms",
+	}, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "merged 4 cells") {
+		t.Fatalf("summary line missing from stderr: %s", stderr.String())
+	}
+
+	norm := spec
+	norm.Normalize()
+	refPath := filepath.Join(t.TempDir(), "ref.cells")
+	ref, err := artifact.Create(refPath, campaign.Fingerprint(norm))
+	if err != nil {
+		t.Fatalf("creating reference log: %v", err)
+	}
+	if _, _, err := campaign.Run(context.Background(), norm, campaign.Options{Workers: 1, Log: ref}); err != nil {
+		t.Fatalf("reference campaign: %v", err)
+	}
+	ref.Close()
+
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("reading merged artifact: %v", err)
+	}
+	want, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatalf("reading reference artifact: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("CLI-merged artifact differs from single-process run")
+	}
+}

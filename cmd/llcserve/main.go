@@ -1,35 +1,41 @@
 // Command llcserve is the long-running campaign daemon: it accepts
 // sweep specs over HTTP/JSON, runs them as resumable checkpointed
 // campaigns (internal/campaign), and serves progress, per-cell
-// completion events, and final artifacts. Every job is durable — the
-// checkpoint log under -data survives crashes and restarts, and
-// resubmitting the same spec after either resumes from the verified
-// cells instead of recomputing them.
+// completion events, final artifacts and raw checkpoint logs. Every
+// job is durable — the checkpoint log under -data survives crashes and
+// restarts, and resubmitting the same spec after either resumes from
+// the verified cells instead of recomputing them.
 //
 //	llcserve -addr 127.0.0.1:8077 -data /var/lib/llcserve
 //
 // Endpoints (all under /api/v1):
 //
-//	POST /api/v1/jobs              submit a sweep.Spec (JSON body); returns the job
-//	GET  /api/v1/jobs              list jobs in submission order
-//	GET  /api/v1/jobs/{id}         one job's status and progress
-//	GET  /api/v1/jobs/{id}/result  final sweep artifact JSON (done jobs only)
-//	GET  /api/v1/jobs/{id}/events  ndjson stream of per-cell completions: backlog, then live
-//	POST /api/v1/jobs/{id}/cancel  stop a queued or running job at the next trial boundary
-//	GET  /healthz                  liveness probe
+//	POST /api/v1/jobs               submit a sweep.Spec (JSON body); ?start=I&end=J submits the cell range [I, J)
+//	GET  /api/v1/jobs               list jobs in submission order
+//	GET  /api/v1/jobs/{id}          one job's status and progress
+//	GET  /api/v1/jobs/{id}/result   final sweep artifact JSON (done full-grid jobs only)
+//	GET  /api/v1/jobs/{id}/artifact the job's raw .cells checkpoint log (done jobs only)
+//	GET  /api/v1/jobs/{id}/events   ndjson stream of per-cell completions: backlog, then live
+//	POST /api/v1/jobs/{id}/cancel   stop a queued or running job at the next trial boundary
+//	GET  /healthz                   liveness probe
 //
-// The job ID is the spec's campaign fingerprint (16 hex digits), so a
-// job IS its spec: submitting a byte-different spec makes a new job,
-// resubmitting an identical one attaches to the existing job in any
-// state — including interrupted jobs from a previous process, which
-// re-enqueue and resume. Up to -jobs campaigns run concurrently in
-// submission order, splitting the -parallel cell-worker budget evenly;
-// neither knob changes any artifact byte (determinism clauses 4 and
-// 8). The submit queue is unbounded — accepting a job is a map insert
-// and a slice append, so submission never blocks on the runners. On
-// SIGINT/SIGTERM the daemon drains: in-flight cells finish their
-// trials, the checkpoint log keeps every completed cell, and the job
-// is marked interrupted for the next incarnation to resume.
+// The job ID is the spec's campaign fingerprint (16 hex digits), plus
+// "-r<start>-<end>" for cell-range jobs, so a job IS its
+// spec-plus-range: submitting a byte-different spec or different range
+// makes a new job, resubmitting an identical one attaches to the
+// existing job in any state — including interrupted jobs from a
+// previous process, which re-enqueue and resume. Range jobs are the
+// lease unit of the fleet coordinator (cmd/llcfleet): they compute no
+// aggregate result, and their artifact endpoint serves the raw
+// checkpoint log for central merging. Up to -jobs campaigns run
+// concurrently in submission order, splitting the -parallel
+// cell-worker budget evenly; neither knob changes any artifact byte
+// (determinism clauses 4 and 8). The submit queue is unbounded —
+// accepting a job is a map insert and a slice append, so submission
+// never blocks on the runners. On SIGINT/SIGTERM the daemon drains:
+// in-flight cells finish their trials, the checkpoint log keeps every
+// completed cell, and the job is marked interrupted for the next
+// incarnation to resume.
 //
 // With -retain-age and/or -retain-count the daemon garbage-collects
 // DONE jobs' spec/cells/result triples (oldest first, by completion
@@ -42,26 +48,17 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
-	"runtime"
-	"sort"
-	"strings"
-	"sync"
 	"syscall"
 	"time"
 
-	"repro/internal/artifact"
-	"repro/internal/campaign"
-	"repro/internal/sweep"
+	"repro/internal/serve"
 
 	// Register the end-to-end attack scenarios as sweepable cell
 	// experiments, mirroring cmd/llcsweep.
@@ -97,17 +94,17 @@ func main() {
 	defer stop()
 	context.AfterFunc(ctx, stop)
 
-	srv, err := newServer(*dataDir, serverOptions{
-		workers:     *parallel,
-		jobs:        *jobs,
-		retainAge:   *retAge,
-		retainCount: *retCount,
+	srv, err := serve.New(*dataDir, serve.Options{
+		Workers:     *parallel,
+		Jobs:        *jobs,
+		RetainAge:   *retAge,
+		RetainCount: *retCount,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "llcserve: %v\n", err)
 		os.Exit(1)
 	}
-	srv.start(ctx)
+	srv.Start(ctx)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -115,11 +112,11 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "llcserve: listening on %s, data in %s\n", ln.Addr(), *dataDir)
-	hs := &http.Server{Handler: srv.handler()}
+	hs := &http.Server{Handler: srv.Handler()}
 	go func() {
 		<-ctx.Done()
 		// Drain: stop accepting, let in-flight responses finish briefly,
-		// then fall through to srv.wait() which interrupts the running
+		// then fall through to srv.Wait() which interrupts the running
 		// campaign (checkpointed cells stay durable).
 		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -129,554 +126,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "llcserve: %v\n", err)
 		os.Exit(1)
 	}
-	srv.wait()
+	srv.Wait()
 	fmt.Fprintln(os.Stderr, "llcserve: drained")
-}
-
-// jobState is the lifecycle: queued -> running -> one of the terminal
-// states. interrupted (daemon shut down mid-run) and cancelled/failed
-// jobs re-enqueue when their spec is submitted again; done jobs only
-// serve their result.
-type jobState string
-
-const (
-	stateQueued      jobState = "queued"
-	stateRunning     jobState = "running"
-	stateDone        jobState = "done"
-	stateFailed      jobState = "failed"
-	stateCancelled   jobState = "cancelled"
-	stateInterrupted jobState = "interrupted"
-)
-
-// job is one submitted spec. Its mutable fields are guarded by the
-// server mutex; cond broadcasts on every event append and state
-// change, which is what the ndjson streams block on.
-type job struct {
-	ID    string     `json:"id"`
-	State jobState   `json:"state"`
-	Total int        `json:"total_cells"`
-	Done  int        `json:"done_cells"`
-	Skip  int        `json:"skipped_cells"`
-	Error string     `json:"error,omitempty"`
-	Spec  sweep.Spec `json:"spec"`
-
-	seq       int // submission order for listing
-	events    []campaign.Event
-	gen       int // bumped when a rerun resets events, so streams replay
-	doneAt    time.Time
-	cancel    context.CancelFunc
-	cancelled bool // cancel endpoint (vs daemon drain) hit while active
-}
-
-// serverOptions configures a daemon instance.
-type serverOptions struct {
-	// workers is the total cell-worker budget shared by all concurrent
-	// jobs (0 = GOMAXPROCS). It never changes any artifact byte.
-	workers int
-	// jobs is how many campaigns run concurrently (<= 0 means 1). Each
-	// running job gets max(1, workers/jobs) cell workers.
-	jobs int
-	// retainAge garbage-collects done jobs finished longer ago than
-	// this (0 = no age limit).
-	retainAge time.Duration
-	// retainCount keeps at most this many done jobs, reaping the oldest
-	// first (0 = no count limit).
-	retainCount int
-}
-
-type server struct {
-	dataDir     string
-	workers     int // cell workers per running job
-	jobSlots    int // concurrent job runners
-	retainAge   time.Duration
-	retainCount int
-
-	mu    sync.Mutex
-	cond  *sync.Cond
-	jobs  map[string]*job
-	next  int      // next submission sequence number
-	queue []string // unbounded FIFO of queued job IDs; cond signals appends
-
-	stopped chan struct{} // closed when every runner has exited
-}
-
-// newServer loads the data directory's jobs: a spec with a result is
-// done, one without is a campaign the previous incarnation never
-// finished — exposed as interrupted so a resubmit resumes it.
-func newServer(dataDir string, opts serverOptions) (*server, error) {
-	if err := os.MkdirAll(dataDir, 0o755); err != nil {
-		return nil, err
-	}
-	budget := opts.workers
-	if budget <= 0 {
-		budget = runtime.GOMAXPROCS(0)
-	}
-	slots := max(1, opts.jobs)
-	s := &server{
-		dataDir:     dataDir,
-		workers:     max(1, budget/slots),
-		jobSlots:    slots,
-		retainAge:   opts.retainAge,
-		retainCount: opts.retainCount,
-		jobs:        make(map[string]*job),
-		stopped:     make(chan struct{}),
-	}
-	s.cond = sync.NewCond(&s.mu)
-	specs, err := filepath.Glob(filepath.Join(dataDir, "*.spec.json"))
-	if err != nil {
-		return nil, err
-	}
-	sort.Strings(specs)
-	for _, p := range specs {
-		id := strings.TrimSuffix(filepath.Base(p), ".spec.json")
-		data, err := os.ReadFile(p)
-		if err != nil {
-			return nil, err
-		}
-		var spec sweep.Spec
-		if err := json.Unmarshal(data, &spec); err != nil {
-			return nil, fmt.Errorf("job %s: %w", id, err)
-		}
-		spec.Normalize()
-		if got := jobID(spec); got != id {
-			return nil, fmt.Errorf("job %s: spec fingerprints as %s (foreign or edited spec file)", id, got)
-		}
-		j := &job{ID: id, Spec: spec, Total: len(sweep.Expand(spec)), State: stateInterrupted, seq: s.next}
-		s.next++
-		if fi, err := os.Stat(s.resultPath(id)); err == nil {
-			j.State = stateDone
-			j.Done = j.Total
-			// The artifact's install time stands in for the completion
-			// time, so retention ages reloaded jobs sensibly.
-			j.doneAt = fi.ModTime()
-		}
-		s.jobs[id] = j
-	}
-	return s, nil
-}
-
-func jobID(spec sweep.Spec) string { return fmt.Sprintf("%016x", campaign.Fingerprint(spec)) }
-
-func (s *server) specPath(id string) string   { return filepath.Join(s.dataDir, id+".spec.json") }
-func (s *server) cellsPath(id string) string  { return filepath.Join(s.dataDir, id+".cells") }
-func (s *server) resultPath(id string) string { return filepath.Join(s.dataDir, id+".result.json") }
-
-// start launches the job-runner pool: jobSlots goroutines each pop the
-// oldest queued ID and run it, so jobs still start in submission order
-// even though up to jobSlots of them run concurrently. ctx is the
-// daemon lifetime: when it cancels, running campaigns stop at the next
-// trial boundary and the runners exit after marking their jobs
-// interrupted. Retention, when configured, sweeps at startup and then
-// once a minute.
-func (s *server) start(ctx context.Context) {
-	// Runners block on the cond (not the ctx), so translate cancellation
-	// into a broadcast to wake the idle ones.
-	stopWake := context.AfterFunc(ctx, func() {
-		s.mu.Lock()
-		s.cond.Broadcast()
-		s.mu.Unlock()
-	})
-	var wg sync.WaitGroup
-	for range s.jobSlots {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				s.mu.Lock()
-				for len(s.queue) == 0 && ctx.Err() == nil {
-					s.cond.Wait()
-				}
-				if ctx.Err() != nil {
-					s.mu.Unlock()
-					return
-				}
-				id := s.queue[0]
-				s.queue = s.queue[1:]
-				s.mu.Unlock()
-				s.runJob(ctx, id)
-				s.gc()
-			}
-		}()
-	}
-	if s.retainAge > 0 || s.retainCount > 0 {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			s.gc()
-			t := time.NewTicker(time.Minute)
-			defer t.Stop()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-t.C:
-					s.gc()
-				}
-			}
-		}()
-	}
-	go func() {
-		wg.Wait()
-		stopWake()
-		close(s.stopped)
-	}()
-}
-
-// wait blocks until every runner has exited (drain complete).
-func (s *server) wait() { <-s.stopped }
-
-// enqueue appends a job ID to the FIFO and wakes an idle runner. The
-// caller must hold s.mu; the queue is a slice, so enqueueing never
-// blocks no matter how many jobs are backed up (a bounded channel here
-// once deadlocked the whole daemon at 1024 queued jobs, because the
-// send happened under the same mutex the runner needs to make
-// progress).
-func (s *server) enqueue(id string) {
-	s.queue = append(s.queue, id)
-	s.cond.Broadcast()
-}
-
-// gc applies the retention policy: done jobs beyond -retain-count or
-// older than -retain-age lose their spec/cells/result triple and their
-// jobs-map entry. Only stateDone jobs are candidates — queued, running,
-// failed, cancelled and interrupted jobs keep their files, since those
-// states still need the spec and checkpoint log to resume.
-func (s *server) gc() {
-	if s.retainAge <= 0 && s.retainCount <= 0 {
-		return
-	}
-	s.mu.Lock()
-	var done []*job
-	for _, j := range s.jobs {
-		if j.State == stateDone {
-			done = append(done, j)
-		}
-	}
-	// Newest first, so the count limit keeps the most recent artifacts.
-	sort.Slice(done, func(a, b int) bool { return done[a].doneAt.After(done[b].doneAt) })
-	var evict []*job
-	now := time.Now()
-	for i, j := range done {
-		switch {
-		case s.retainCount > 0 && i >= s.retainCount:
-			evict = append(evict, j)
-		case s.retainAge > 0 && now.Sub(j.doneAt) > s.retainAge:
-			evict = append(evict, j)
-		}
-	}
-	for _, j := range evict {
-		delete(s.jobs, j.ID)
-	}
-	s.mu.Unlock()
-	for _, j := range evict {
-		for _, p := range []string{s.specPath(j.ID), s.cellsPath(j.ID), s.resultPath(j.ID)} {
-			if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
-				fmt.Fprintf(os.Stderr, "llcserve: retention: %v\n", err)
-			}
-		}
-		fmt.Fprintf(os.Stderr, "llcserve: retention: reaped done job %s (finished %s)\n",
-			j.ID, j.doneAt.Format(time.RFC3339))
-	}
-}
-
-func (s *server) runJob(ctx context.Context, id string) {
-	s.mu.Lock()
-	j := s.jobs[id]
-	if j.State != stateQueued { // cancelled while queued
-		s.mu.Unlock()
-		return
-	}
-	jctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	j.State = stateRunning
-	j.Done, j.Skip = 0, 0
-	j.Error = ""
-	// Resetting the backlog invalidates every connected event stream's
-	// cursor; the generation bump tells them to replay from the start of
-	// the new run instead of silently skipping its first events.
-	j.events = nil
-	j.gen++
-	j.cancel = cancel
-	j.cancelled = false
-	s.cond.Broadcast()
-	s.mu.Unlock()
-
-	// OpenOrCreate recreates a torn-header log (a crash between Create
-	// and the header sync leaves a short file with zero verified
-	// records) instead of failing the job on every resubmit forever.
-	ckpt, err := artifact.OpenOrCreate(s.cellsPath(id), campaign.Fingerprint(j.Spec))
-	var res *sweep.Result
-	if err == nil {
-		defer ckpt.Close()
-		res, _, err = campaign.Run(jctx, j.Spec, campaign.Options{
-			Workers: s.workers,
-			Log:     ckpt,
-			OnCell: func(ev campaign.Event) {
-				s.mu.Lock()
-				defer s.mu.Unlock()
-				j.events = append(j.events, ev)
-				j.Done = ev.Done
-				if ev.Skipped {
-					j.Skip++
-				}
-				s.cond.Broadcast()
-			},
-		})
-	}
-	if err == nil {
-		err = writeResult(s.resultPath(id), res)
-	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j.cancel = nil
-	switch {
-	case err == nil:
-		j.State = stateDone
-		j.doneAt = time.Now()
-	case j.cancelled:
-		j.State = stateCancelled
-		j.Error = err.Error()
-	case ctx.Err() != nil:
-		// Daemon drain, not a job failure: completed cells are in the
-		// checkpoint log and the next incarnation resumes this job.
-		j.State = stateInterrupted
-		j.Error = err.Error()
-	default:
-		j.State = stateFailed
-		j.Error = err.Error()
-	}
-	s.cond.Broadcast()
-}
-
-// writeResult installs the final artifact atomically (temp + rename,
-// the CLI convention) so a crash mid-write can never leave a truncated
-// result that a restart would mistake for a finished job.
-func writeResult(path string, res *sweep.Result) error {
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	err = res.WriteJSON(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(f.Name(), path)
-	}
-	if err != nil {
-		os.Remove(f.Name())
-	}
-	return err
-}
-
-func (s *server) handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		io.WriteString(w, "ok\n")
-	})
-	mux.HandleFunc("POST /api/v1/jobs", s.submit)
-	mux.HandleFunc("GET /api/v1/jobs", s.list)
-	mux.HandleFunc("GET /api/v1/jobs/{id}", s.status)
-	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.result)
-	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.events)
-	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.cancelJob)
-	return mux
-}
-
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
-}
-
-// submit decodes and validates a spec, then either creates a new job
-// or attaches to the existing one with the same fingerprint. Jobs in a
-// resumable terminal state (interrupted, cancelled, failed) re-enqueue
-// — the checkpoint log makes the rerun skip verified cells.
-func (s *server) submit(w http.ResponseWriter, r *http.Request) {
-	var spec sweep.Spec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		httpError(w, http.StatusBadRequest, "decoding spec: %v", err)
-		return
-	}
-	spec.Normalize()
-	if err := spec.Validate(); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid spec: %v", err)
-		return
-	}
-	id := jobID(spec)
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	if !ok {
-		// Persist the spec before acknowledging: the job must be
-		// recoverable the moment the client learns its ID.
-		data, err := json.MarshalIndent(spec, "", "  ")
-		if err == nil {
-			err = os.WriteFile(s.specPath(id), append(data, '\n'), 0o644)
-		}
-		if err != nil {
-			httpError(w, http.StatusInternalServerError, "persisting spec: %v", err)
-			return
-		}
-		j = &job{ID: id, Spec: spec, Total: len(sweep.Expand(spec)), State: stateQueued, seq: s.next}
-		s.next++
-		s.jobs[id] = j
-		s.enqueue(id)
-		writeJSON(w, http.StatusCreated, j)
-		return
-	}
-	switch j.State {
-	case stateInterrupted, stateCancelled, stateFailed:
-		j.State = stateQueued
-		j.Error = ""
-		s.enqueue(id)
-		writeJSON(w, http.StatusAccepted, j)
-	default: // queued, running, done: idempotent attach
-		writeJSON(w, http.StatusOK, j)
-	}
-}
-
-func (s *server) list(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	out := make([]*job, 0, len(s.jobs))
-	for _, j := range s.jobs {
-		out = append(out, j)
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a].seq < out[b].seq })
-	// Snapshot under the lock: the runner mutates jobs concurrently.
-	data := make([]job, len(out))
-	for i, j := range out {
-		data[i] = *j
-	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, data)
-}
-
-func (s *server) lookup(w http.ResponseWriter, r *http.Request) (*job, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[r.PathValue("id")]
-	if !ok {
-		httpError(w, http.StatusNotFound, "no job %s", r.PathValue("id"))
-		return nil, false
-	}
-	return j, true
-}
-
-func (s *server) status(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.lookup(w, r)
-	if !ok {
-		return
-	}
-	s.mu.Lock()
-	snap := *j
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, snap)
-}
-
-// result streams the installed artifact file. Only done jobs have one;
-// everything else is 409 so a poller can distinguish "not yet" from
-// "never submitted" (404).
-func (s *server) result(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.lookup(w, r)
-	if !ok {
-		return
-	}
-	s.mu.Lock()
-	st := j.State
-	s.mu.Unlock()
-	if st != stateDone {
-		httpError(w, http.StatusConflict, "job %s is %s, not done", j.ID, st)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	http.ServeFile(w, r, s.resultPath(j.ID))
-}
-
-// events streams the job's per-cell completions as ndjson: the full
-// backlog first, then live events until the job reaches a terminal
-// state or the client disconnects.
-func (s *server) events(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.lookup(w, r)
-	if !ok {
-		return
-	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	flusher, _ := w.(http.Flusher)
-	// A client disconnect only surfaces as a write error; wake the cond
-	// loop when the request dies so the handler can notice and return.
-	stop := context.AfterFunc(r.Context(), func() {
-		s.mu.Lock()
-		s.cond.Broadcast()
-		s.mu.Unlock()
-	})
-	defer stop()
-	enc := json.NewEncoder(w)
-	i, gen := 0, -1
-	for {
-		s.mu.Lock()
-		for {
-			if j.gen != gen {
-				// A rerun replaced the backlog: restart the cursor so the
-				// client sees the new run from its first event instead of
-				// silently skipping the first i of them.
-				gen, i = j.gen, 0
-			}
-			if i < len(j.events) || (j.State != stateQueued && j.State != stateRunning) || r.Context().Err() != nil {
-				break
-			}
-			s.cond.Wait()
-		}
-		if r.Context().Err() != nil || (i >= len(j.events) && j.State != stateQueued && j.State != stateRunning) {
-			s.mu.Unlock()
-			return
-		}
-		ev := j.events[i]
-		i++
-		s.mu.Unlock()
-		if enc.Encode(ev) != nil {
-			return
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}
-}
-
-// cancelJob stops a queued or running job. Running jobs stop at the
-// next trial boundary; cells already checkpointed stay durable, so a
-// later resubmit resumes rather than restarts.
-func (s *server) cancelJob(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.lookup(w, r)
-	if !ok {
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	switch j.State {
-	case stateQueued:
-		j.State = stateCancelled
-		j.cancelled = true
-		s.cond.Broadcast()
-		writeJSON(w, http.StatusOK, j)
-	case stateRunning:
-		j.cancelled = true
-		j.cancel()
-		writeJSON(w, http.StatusAccepted, j)
-	default:
-		httpError(w, http.StatusConflict, "job %s is %s, not cancellable", j.ID, j.State)
-	}
 }

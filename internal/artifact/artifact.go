@@ -432,6 +432,15 @@ type MergeOptions struct {
 	// destination file created. The campaign layer uses it to require
 	// payloads that decode to the spec's exact trial count.
 	Validate func(key string, payload []byte) error
+	// SourceKeys, when non-nil, is the range-aware input validation: it
+	// maps a source path to the exact key set that source was assigned
+	// (a fleet coordinator knows which cell range each worker's log must
+	// cover). A listed source holding any key outside its set aborts the
+	// merge — a range log with foreign keys means a worker ran cells it
+	// was never leased, and accepting them would let a confused or
+	// malicious worker overwrite ranges it does not own. Sources not
+	// listed are only checked against Order.
+	SourceKeys map[string][]string
 }
 
 // MergeStats summarises a completed Merge.
@@ -471,11 +480,22 @@ func Merge(dstPath string, fingerprint uint64, opts MergeOptions, srcPaths ...st
 		if err != nil {
 			return nil, err
 		}
+		var allowed map[string]bool
+		if keys, ok := opts.SourceKeys[sp]; ok {
+			allowed = make(map[string]bool, len(keys))
+			for _, k := range keys {
+				allowed[k] = true
+			}
+		}
 		for _, key := range src.Keys() {
 			payload, _ := src.Get(key)
 			if !inOrder[key] {
 				src.Close()
 				return nil, fmt.Errorf("artifact: merge: %s holds key %q which is not a cell of this grid", sp, key)
+			}
+			if allowed != nil && !allowed[key] {
+				src.Close()
+				return nil, fmt.Errorf("artifact: merge: %s holds key %q outside its assigned range", sp, key)
 			}
 			if prev, seen := merged[key]; seen {
 				if !bytes.Equal(prev, payload) {
@@ -520,4 +540,36 @@ func Merge(dstPath string, fingerprint uint64, opts MergeOptions, srcPaths ...st
 		return nil, fmt.Errorf("artifact: %s: %w", dstPath, err)
 	}
 	return st, nil
+}
+
+// CheckKeys opens the log at path (running the usual header, checksum
+// and duplicate repairs) and verifies it holds EXACTLY the given keys:
+// every wanted key present with a verified record, no key beyond them.
+// It is the integrity gate a fleet coordinator runs on a downloaded
+// range artifact before trusting it — a truncated transfer loses tail
+// records (missing keys), a wrong-fingerprint file fails at open, and
+// a log with extra keys was computed by something other than the
+// leased range. The verified key count is returned so callers can
+// report what a failed transfer was missing.
+func CheckKeys(path string, fingerprint uint64, keys []string) (int, error) {
+	l, err := Open(path, fingerprint)
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	want := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		want[k] = true
+	}
+	for _, k := range l.Keys() {
+		if !want[k] {
+			return l.Len(), fmt.Errorf("artifact: %s holds unexpected key %q", path, k)
+		}
+	}
+	for _, k := range keys {
+		if _, ok := l.Get(k); !ok {
+			return l.Len(), fmt.Errorf("artifact: %s is missing key %q (%d of %d verified)", path, k, l.Len(), len(keys))
+		}
+	}
+	return l.Len(), nil
 }

@@ -26,7 +26,11 @@
 // logs into one log byte-identical to what an uninterrupted sequential
 // single-process run would have written (determinism clause 8). The
 // artifact log is the only rendezvous — shards share no state and need
-// no coordinator while running.
+// no coordinator while running. Options.CellStart/CellEnd generalise
+// the static residue partition to explicit contiguous cell ranges, the
+// unit a coordinator (internal/fleet) leases to workers and reassigns
+// on failure; range logs merge under the same identity guarantee
+// (determinism clause 9).
 package campaign
 
 import (
@@ -117,6 +121,17 @@ type Options struct {
 	// cannot aggregate (it has only its slice), so Run returns a nil
 	// Result; Stats counts the shard's cells only.
 	ShardIndex, ShardCount int
+	// CellEnd > 0 restricts the run to the explicit half-open cell range
+	// [CellStart, CellEnd) in Expand order — the dynamic-lease
+	// generalisation of residue sharding: a coordinator can hand out
+	// contiguous ranges of any size and reassign them when a worker
+	// lags, instead of fixing a static i/N partition up front. Like a
+	// shard, a range run returns a nil Result (it has only its slice of
+	// the samples); the lease identity clause (determinism clause 9)
+	// guarantees merging range logs reproduces the uninterrupted run's
+	// bytes no matter how the ranges were cut or who computed them.
+	// Mutually exclusive with ShardCount.
+	CellStart, CellEnd int
 }
 
 // Run executes the spec as a resumable campaign and returns the same
@@ -139,12 +154,27 @@ func Run(ctx context.Context, spec sweep.Spec, opts Options) (*sweep.Result, *St
 		return nil, nil, fmt.Errorf("campaign: shard index %d out of range [0, %d)", opts.ShardIndex, opts.ShardCount)
 	}
 	cls := sweep.Expand(spec)
+	ranged := opts.CellStart != 0 || opts.CellEnd != 0
+	if ranged {
+		if opts.ShardCount > 0 {
+			return nil, nil, fmt.Errorf("campaign: cell range and residue sharding are mutually exclusive")
+		}
+		if opts.CellStart < 0 || opts.CellEnd <= opts.CellStart || opts.CellEnd > len(cls) {
+			return nil, nil, fmt.Errorf("campaign: cell range [%d, %d) out of range for a %d-cell grid", opts.CellStart, opts.CellEnd, len(cls))
+		}
+	}
 	n := spec.Trials
-	// mine is the slice of Expand indices this run owns: everything, or
-	// the round-robin residue class of the shard.
+	// mine is the slice of Expand indices this run owns: everything, the
+	// round-robin residue class of the shard, or the explicit leased
+	// range.
 	mine := make([]int, 0, len(cls))
 	for ci := range cls {
-		if opts.ShardCount <= 0 || ci%opts.ShardCount == opts.ShardIndex {
+		switch {
+		case ranged:
+			if ci >= opts.CellStart && ci < opts.CellEnd {
+				mine = append(mine, ci)
+			}
+		case opts.ShardCount <= 0 || ci%opts.ShardCount == opts.ShardIndex:
 			mine = append(mine, ci)
 		}
 	}
@@ -269,9 +299,9 @@ func Run(ctx context.Context, spec sweep.Spec, opts Options) (*sweep.Result, *St
 	if err := ctx.Err(); err != nil {
 		return nil, st, fmt.Errorf("campaign: %w", context.Cause(ctx))
 	}
-	if opts.ShardCount > 0 {
-		// A shard holds only its slice of the samples; the aggregate is
-		// assembled later from the merged logs.
+	if opts.ShardCount > 0 || ranged {
+		// A shard or leased range holds only its slice of the samples;
+		// the aggregate is assembled later from the merged logs.
 		return nil, st, nil
 	}
 

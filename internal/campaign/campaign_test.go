@@ -658,3 +658,98 @@ func TestMergeRejectsBadRecords(t *testing.T) {
 		t.Fatal("record for a key outside the grid merged")
 	}
 }
+
+// TestRangeClaimPartitionsCells is the dynamic-lease analogue of the
+// residue-shard partition test: explicit cell ranges must cover the
+// grid exactly once, return no aggregate, and merge byte-identical to
+// a sequential uninterrupted run — the property the fleet coordinator
+// leans on (determinism clause 9).
+func TestRangeClaimPartitionsCells(t *testing.T) {
+	spec := tinySpec()
+	fp := Fingerprint(spec)
+	dir := t.TempDir()
+	cls := func() []sweep.Cell {
+		s := spec
+		s.Normalize()
+		return sweep.Expand(s)
+	}()
+
+	refPath := filepath.Join(dir, "ref.cells")
+	ref, err := artifact.Create(refPath, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Run(context.Background(), spec, Options{Workers: 1, Log: ref}); err != nil {
+		t.Fatal(err)
+	}
+	ref.Close()
+	want, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Uneven ranges on purpose: [0,1), [1,3), [3,4).
+	ranges := [][2]int{{0, 1}, {1, 3}, {3, 4}}
+	var srcs []string
+	seen := map[string]int{}
+	for i, r := range ranges {
+		path := filepath.Join(dir, fmt.Sprintf("r%d.cells", i))
+		log, err := artifact.Create(path, fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, st, err := Run(context.Background(), spec, Options{
+			Workers: 1, Log: log, CellStart: r[0], CellEnd: r[1],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != nil {
+			t.Fatalf("range %v returned a Result; a grid slice must not aggregate", r)
+		}
+		if st.Cells != r[1]-r[0] || st.Ran != st.Cells {
+			t.Fatalf("range %v stats = %+v", r, st)
+		}
+		for _, k := range log.Keys() {
+			seen[k]++
+		}
+		log.Close()
+		srcs = append(srcs, path)
+	}
+	for _, c := range cls {
+		if seen[c.Key] != 1 {
+			t.Fatalf("cell %q owned by %d ranges, want exactly 1", c.Key, seen[c.Key])
+		}
+	}
+
+	mergedPath := filepath.Join(dir, "merged.cells")
+	if _, err := Merge(spec, mergedPath, srcs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(mergedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("range-merged log differs from sequential run")
+	}
+}
+
+// Range bounds are validated against the grid, and ranges are mutually
+// exclusive with residue shards — a worker claiming both ways could
+// silently double- or under-cover cells.
+func TestRangeClaimValidation(t *testing.T) {
+	spec := tinySpec() // 4 cells
+	for _, bad := range [][2]int{{-1, 2}, {2, 2}, {3, 2}, {0, 5}, {4, 4}} {
+		_, _, err := Run(context.Background(), spec, Options{CellStart: bad[0], CellEnd: bad[1]})
+		if err == nil {
+			t.Fatalf("range [%d, %d) accepted on a 4-cell grid", bad[0], bad[1])
+		}
+	}
+	_, _, err := Run(context.Background(), spec, Options{
+		CellStart: 0, CellEnd: 2, ShardIndex: 0, ShardCount: 2,
+	})
+	if err == nil {
+		t.Fatal("cell range combined with residue sharding was accepted")
+	}
+}

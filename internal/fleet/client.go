@@ -1,0 +1,223 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/sweep"
+)
+
+// JobStatus mirrors the llcserve job JSON the coordinator consumes —
+// the subset of the daemon's job document that scheduling decisions
+// read.
+type JobStatus struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Total     int    `json:"total_cells"`
+	Done      int    `json:"done_cells"`
+	Skip      int    `json:"skipped_cells"`
+	Error     string `json:"error,omitempty"`
+	CellStart int    `json:"cell_start,omitempty"`
+	CellEnd   int    `json:"cell_end,omitempty"`
+}
+
+// Client talks the llcserve HTTP API to one worker daemon. Submit and
+// Status are single-shot (the scheduling loop is its own retry);
+// Download retries with exponential backoff, because a finished
+// range's log is the one artifact the coordinator cannot recompute
+// locally and a transient truncation must not burn the lease.
+type Client struct {
+	// Base is the worker's URL origin, e.g. "http://10.0.0.7:8077".
+	Base string
+	// HTTP is the transport (nil = a client with a 30s overall timeout).
+	HTTP *http.Client
+	// Retries is how many times Download retries after the first
+	// attempt (0 = a sensible default of 4).
+	Retries int
+	// RetryBase is the first backoff delay, doubling per retry
+	// (0 = 100ms).
+	RetryBase time.Duration
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// apiError decodes the daemon's {"error": ...} body into a Go error.
+func apiError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("worker %s: %s (HTTP %d)", resp.Request.URL.Host, e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("worker %s: HTTP %d", resp.Request.URL.Host, resp.StatusCode)
+}
+
+// Submit posts the cell range [start, end) of spec and returns the
+// job the daemon created or attached to. Any 2xx is success: 201 is a
+// new job, 202 re-enqueued an interrupted/cancelled/failed one (which
+// resumes from its checkpoint), and 200 attached to a queued, running
+// or already-done job — all states the scheduling loop handles through
+// Status.
+func (c *Client) Submit(ctx context.Context, spec sweep.Spec, start, end int) (*JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	url := fmt.Sprintf("%s/api/v1/jobs?start=%d&end=%d", c.Base, start, end)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, apiError(resp)
+	}
+	var j JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		return nil, fmt.Errorf("worker %s: decoding job: %w", req.URL.Host, err)
+	}
+	return &j, nil
+}
+
+// Status fetches one job's current state.
+func (c *Client) Status(ctx context.Context, id string) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/api/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var j JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		return nil, fmt.Errorf("worker %s: decoding status: %w", req.URL.Host, err)
+	}
+	return &j, nil
+}
+
+// Cancel asks the worker to stop a queued or running job at the next
+// trial boundary. Best-effort: a terminal job answers 409, which is
+// success for the coordinator's purposes.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/api/v1/jobs/"+id+"/cancel", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 && resp.StatusCode != http.StatusConflict {
+		return apiError(resp)
+	}
+	return nil
+}
+
+// Download pulls a done job's checkpoint log to dst and verifies it
+// before installing: the log must open under the campaign fingerprint
+// (header + per-record CRCs) and hold exactly the given keys — a
+// truncated transfer loses tail records and shows up as missing keys,
+// a foreign or stale log shows up as a fingerprint or unexpected-key
+// failure. Failed attempts retry with exponential backoff (network
+// errors, 5xx, and verification failures are all retryable; 4xx fails
+// fast — the job is gone or not done, which backoff cannot fix). The
+// verified file is installed by rename, so dst is never a torn
+// download.
+func (c *Client) Download(ctx context.Context, id, dst string, fingerprint uint64, keys []string) error {
+	retries := c.Retries
+	if retries <= 0 {
+		retries = 4
+	}
+	backoff := c.RetryBase
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.downloadOnce(ctx, id, dst, fingerprint, keys)
+		if err == nil {
+			return nil
+		}
+		var fatal *fatalError
+		if errors.As(err, &fatal) || attempt >= retries || ctx.Err() != nil {
+			return fmt.Errorf("fleet: downloading %s from %s (attempt %d): %w", id, c.Base, attempt+1, err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff << attempt):
+		}
+	}
+}
+
+// fatalError marks a download failure retrying cannot fix.
+type fatalError struct{ err error }
+
+func (e *fatalError) Error() string { return e.err.Error() }
+func (e *fatalError) Unwrap() error { return e.err }
+
+func (c *Client) downloadOnce(ctx context.Context, id, dst string, fingerprint uint64, keys []string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/api/v1/jobs/"+id+"/artifact", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		err := apiError(resp)
+		if resp.StatusCode/100 == 4 {
+			return &fatalError{err}
+		}
+		return err
+	}
+	f, err := os.CreateTemp(filepath.Dir(dst), filepath.Base(dst)+".dl-*")
+	if err != nil {
+		return &fatalError{err}
+	}
+	tmp := f.Name()
+	_, err = io.Copy(f, resp.Body)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		// The integrity gate: fingerprint, CRCs, and the exact key set of
+		// the leased range.
+		_, err = artifact.CheckKeys(tmp, fingerprint, keys)
+	}
+	if err == nil {
+		err = os.Rename(tmp, dst)
+	}
+	if err != nil {
+		os.Remove(tmp)
+	}
+	return err
+}

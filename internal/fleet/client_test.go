@@ -1,0 +1,188 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/artifact"
+)
+
+// buildLog writes a checkpoint log with the given keys (payload = key
+// bytes) and returns its serialized bytes.
+func buildLog(t *testing.T, fingerprint uint64, keys []string) []byte {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "src.cells")
+	l, err := artifact.Create(p, fingerprint)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for _, k := range keys {
+		if err := l.Append(k, []byte(k)); err != nil {
+			t.Fatalf("Append(%s): %v", k, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	return data
+}
+
+// artifactServer serves the log bytes at the daemon's artifact path,
+// truncating the first `truncate` responses to half length — the
+// transfer fault the download retry must absorb.
+func artifactServer(t *testing.T, data []byte, truncate int) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	var hits atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/jobs/{id}/artifact", func(w http.ResponseWriter, r *http.Request) {
+		n := hits.Add(1)
+		body := data
+		if int(n) <= truncate {
+			body = data[:len(data)/2]
+		}
+		// Advertise the full length even when truncating, like a
+		// connection dropped mid-transfer.
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		w.Write(body)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func TestDownloadRetriesTruncatedTransfer(t *testing.T) {
+	const fp = 0x1234
+	keys := []string{"a", "b", "c", "d"}
+	data := buildLog(t, fp, keys)
+	ts, hits := artifactServer(t, data, 2) // first two responses truncated
+
+	c := &Client{Base: ts.URL, Retries: 4, RetryBase: time.Millisecond}
+	dst := filepath.Join(t.TempDir(), "got.cells")
+	if err := c.Download(context.Background(), "job1", dst, fp, keys); err != nil {
+		t.Fatalf("Download: %v", err)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("server saw %d requests, want 3 (two truncated, one clean)", n)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatalf("reading download: %v", err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("downloaded bytes differ from source log")
+	}
+}
+
+func TestDownloadExhaustsRetriesOnPersistentTruncation(t *testing.T) {
+	const fp = 0x1234
+	keys := []string{"a", "b", "c", "d"}
+	data := buildLog(t, fp, keys)
+	ts, hits := artifactServer(t, data, 1<<30) // every response truncated
+
+	c := &Client{Base: ts.URL, Retries: 2, RetryBase: time.Millisecond}
+	dst := filepath.Join(t.TempDir(), "got.cells")
+	if err := c.Download(context.Background(), "job1", dst, fp, keys); err == nil {
+		t.Fatal("Download succeeded though every transfer was truncated")
+	}
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("server saw %d requests, want 3 (initial + 2 retries)", n)
+	}
+	if _, err := os.Stat(dst); err == nil {
+		t.Fatal("failed download left a file at dst")
+	}
+}
+
+// A log fingerprinted by a different spec must fail verification on
+// every attempt — the retry loop still runs (the coordinator cannot
+// distinguish a stale log from a torn transfer), but nothing installs.
+func TestDownloadRejectsWrongFingerprint(t *testing.T) {
+	data := buildLog(t, 0xdead, []string{"a", "b"})
+	ts, _ := artifactServer(t, data, 0)
+
+	c := &Client{Base: ts.URL, Retries: 1, RetryBase: time.Millisecond}
+	dst := filepath.Join(t.TempDir(), "got.cells")
+	err := c.Download(context.Background(), "job1", dst, 0xbeef, []string{"a", "b"})
+	if err == nil {
+		t.Fatal("Download accepted a log with the wrong fingerprint")
+	}
+	if _, serr := os.Stat(dst); serr == nil {
+		t.Fatal("wrong-fingerprint download left a file at dst")
+	}
+}
+
+// A log holding keys outside the assigned range, or missing some of
+// it, must fail the CheckKeys gate.
+func TestDownloadRejectsWrongKeySet(t *testing.T) {
+	const fp = 0x77
+	data := buildLog(t, fp, []string{"a", "b", "zz"})
+	ts, _ := artifactServer(t, data, 0)
+	c := &Client{Base: ts.URL, Retries: 0, RetryBase: time.Millisecond}
+
+	dst := filepath.Join(t.TempDir(), "got.cells")
+	if err := c.Download(context.Background(), "job1", dst, fp, []string{"a", "b"}); err == nil {
+		t.Fatal("Download accepted a log with a foreign key")
+	}
+	if err := c.Download(context.Background(), "job1", dst, fp, []string{"a", "b", "zz", "missing"}); err == nil {
+		t.Fatal("Download accepted a log missing an assigned key")
+	}
+}
+
+// 4xx responses fail fast: the job is unknown or not done, and backoff
+// cannot fix either, so the lease should not burn through retries.
+func TestDownloadFailsFastOn4xx(t *testing.T) {
+	var hits atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/jobs/{id}/artifact", func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"no job"}`, http.StatusNotFound)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, Retries: 5, RetryBase: time.Millisecond}
+	dst := filepath.Join(t.TempDir(), "got.cells")
+	if err := c.Download(context.Background(), "gone", dst, 1, []string{"a"}); err == nil {
+		t.Fatal("Download succeeded against a 404")
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("server saw %d requests, want 1 (fail fast, no retries)", n)
+	}
+}
+
+// 5xx responses are transient by contract and must retry.
+func TestDownloadRetries5xx(t *testing.T) {
+	const fp = 0x55
+	keys := []string{"k"}
+	data := buildLog(t, fp, keys)
+	var hits atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/jobs/{id}/artifact", func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			http.Error(w, `{"error":"busy"}`, http.StatusInternalServerError)
+			return
+		}
+		w.Write(data)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, Retries: 3, RetryBase: time.Millisecond}
+	dst := filepath.Join(t.TempDir(), "got.cells")
+	if err := c.Download(context.Background(), "job1", dst, fp, keys); err != nil {
+		t.Fatalf("Download: %v", err)
+	}
+	if n := hits.Load(); n != 2 {
+		t.Fatalf("server saw %d requests, want 2", n)
+	}
+}

@@ -1,0 +1,325 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/campaign"
+	"repro/internal/sweep"
+)
+
+// Options configures a fleet run.
+type Options struct {
+	// Workers are the llcserve base URLs the coordinator leases ranges
+	// to (at least one required).
+	Workers []string
+	// LeaseSize is the cells-per-lease partition width (0 = a default
+	// that gives each worker about four leases, so one slow worker
+	// strands at most a small slice).
+	LeaseSize int
+	// LeaseTimeout expires a lease that showed no progress for this
+	// long (0 = 30s). Expired ranges reassign; the old worker's job is
+	// left running, and a late duplicate completion dedupes byte-equal
+	// at merge.
+	LeaseTimeout time.Duration
+	// Poll is the scheduling loop's tick (0 = 250ms): each tick expires
+	// due leases, polls leased jobs, grants pending ranges to idle
+	// workers, and downloads finished ranges.
+	Poll time.Duration
+	// WorkDir holds downloaded range logs and the pre-install merge
+	// output ("" = a fresh temp directory, removed on success).
+	WorkDir string
+	// Logf, when non-nil, receives scheduling-event lines (grants,
+	// expiries, reassignments, downloads, duplicates).
+	Logf func(format string, args ...any)
+	// Now is the clock (nil = time.Now); tests inject it to drive lease
+	// expiry without real waiting.
+	Now func() time.Time
+	// DownloadRetries and DownloadRetryBase tune the artifact download
+	// backoff (see Client).
+	DownloadRetries   int
+	DownloadRetryBase time.Duration
+}
+
+// Stats summarises a completed fleet run.
+type Stats struct {
+	// Ranges is the lease partition size (how many leases the grid
+	// split into).
+	Ranges int
+	// Grants counts every lease granted, including re-grants of
+	// reassigned ranges.
+	Grants int
+	// Expired counts leases that timed out without completing.
+	Expired int
+	// Duplicates counts ranges completed more than once (an expired
+	// lease's zombie finished after the range was reassigned and
+	// completed elsewhere); their logs merged byte-equal.
+	Duplicates int
+	// Merge is the central merge's accounting.
+	Merge *artifact.MergeStats
+}
+
+// worker is the coordinator's view of one daemon.
+type worker struct {
+	base   string
+	client *Client
+	lease  *Lease // nil when idle
+	jobID  string
+	// lastDone is the done_cells count at the last renewal; the lease
+	// renews only when this advances (or the state changes), so a
+	// responsive daemon whose job is wedged still expires.
+	lastDone int
+	// coolUntil backs a worker off after a failed submit, so a dead
+	// daemon is not hammered every tick with the same range.
+	coolUntil time.Time
+}
+
+// zombie is an expired lease's job, still possibly running remotely.
+// The coordinator keeps polling it: if it finishes first it completes
+// its range like anyone else; if the range was already reassigned and
+// completed, its log is downloaded anyway and deduped byte-equal —
+// the cheapest proof that completion identity is the range, not the
+// worker (clause 9).
+type zombie struct {
+	w     *worker
+	jobID string
+	rng   Range
+}
+
+// download records one verified range log for the central merge.
+type download struct {
+	path string
+	rng  Range
+}
+
+// Run executes spec across the fleet and installs the merged
+// checkpoint log at dstPath (temp + rename; the file must not already
+// exist). The merged log is byte-identical to what an uninterrupted
+// single-process campaign of the same spec would have written,
+// regardless of worker failures, lease reassignments, or duplicate
+// completions. Run returns when every range has merged or ctx is
+// cancelled; a fleet with no live workers makes no progress but keeps
+// retrying until then — the caller's context is the abort knob.
+func Run(ctx context.Context, spec sweep.Spec, dstPath string, opts Options) (*Stats, error) {
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(opts.Workers) == 0 {
+		return nil, fmt.Errorf("fleet: no workers")
+	}
+	if _, err := os.Stat(dstPath); err == nil {
+		return nil, fmt.Errorf("fleet: destination %s already exists", dstPath)
+	}
+	cls := sweep.Expand(spec)
+	leaseSize := opts.LeaseSize
+	if leaseSize <= 0 {
+		leaseSize = max(1, len(cls)/(4*len(opts.Workers)))
+	}
+	table, err := NewTable(len(cls), leaseSize)
+	if err != nil {
+		return nil, err
+	}
+	timeout := opts.LeaseTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	poll := opts.Poll
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	workDir := opts.WorkDir
+	if workDir == "" {
+		workDir, err = os.MkdirTemp("", "llcfleet-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(workDir)
+	}
+
+	fp := campaign.Fingerprint(spec)
+	keysOf := func(r Range) []string {
+		keys := make([]string, 0, r.End-r.Start)
+		for _, c := range cls[r.Start:r.End] {
+			keys = append(keys, c.Key)
+		}
+		return keys
+	}
+	workers := make([]*worker, len(opts.Workers))
+	for i, base := range opts.Workers {
+		workers[i] = &worker{base: base, client: &Client{
+			Base:      base,
+			Retries:   opts.DownloadRetries,
+			RetryBase: opts.DownloadRetryBase,
+		}}
+	}
+	st := &Stats{Ranges: len(table.Ranges())}
+	var zombies []*zombie
+	var downloads []download
+
+	// fetch downloads and verifies a done range's log, completing the
+	// range in the table; dup completions still contribute their file
+	// (the merge dedupes byte-equal records, which is the test that the
+	// two runs really computed the same bytes).
+	fetch := func(w *worker, jobID string, r Range) error {
+		dst := filepath.Join(workDir, fmt.Sprintf("r%d-%d.%s.cells", r.Start, r.End, sanitize(w.base)))
+		if err := w.client.Download(ctx, jobID, dst, fp, keysOf(r)); err != nil {
+			return err
+		}
+		dup, err := table.Complete(r)
+		if err != nil {
+			return err
+		}
+		if dup {
+			st.Duplicates++
+			logf("fleet: duplicate completion of %s by %s (deduped at merge)", r, w.base)
+		} else {
+			logf("fleet: range %s completed by %s", r, w.base)
+		}
+		downloads = append(downloads, download{path: dst, rng: r})
+		return nil
+	}
+
+	for !table.Done() {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("fleet: %w", context.Cause(ctx))
+		}
+		tick := now()
+
+		// 1. Expire leases that stopped progressing; their ranges return
+		// to the pool and their jobs become zombies we keep watching.
+		for _, l := range table.ExpireDue(tick) {
+			st.Expired++
+			for _, w := range workers {
+				if w.lease != nil && w.lease.Range == l.Range {
+					logf("fleet: lease %s on %s expired; reassigning", l.Range, w.base)
+					zombies = append(zombies, &zombie{w: w, jobID: w.jobID, rng: l.Range})
+					w.lease, w.jobID = nil, ""
+				}
+			}
+		}
+
+		// 2. Poll leaseholders. Progress renews; done downloads and
+		// completes; a terminal failure releases the range for
+		// reassignment. A poll error renews nothing — the lease keeps
+		// aging toward expiry, which is the crash detector.
+		for _, w := range workers {
+			if w.lease == nil {
+				continue
+			}
+			js, err := w.client.Status(ctx, w.jobID)
+			if err != nil {
+				logf("fleet: polling %s on %s: %v", w.jobID, w.base, err)
+				continue
+			}
+			r := w.lease.Range
+			switch js.State {
+			case "done":
+				if err := fetch(w, w.jobID, r); err != nil {
+					logf("fleet: %v", err)
+					// The range is still leased; expiry will reassign it if
+					// the download never succeeds.
+					continue
+				}
+				w.lease, w.jobID = nil, ""
+			case "failed", "cancelled", "interrupted":
+				logf("fleet: job %s on %s is %s (%s); releasing %s", w.jobID, w.base, js.State, js.Error, r)
+				table.Release(r)
+				w.lease, w.jobID = nil, ""
+				w.coolUntil = tick.Add(timeout)
+			default: // queued, running
+				if js.Done > w.lastDone {
+					w.lastDone = js.Done
+					table.Renew(r, tick, timeout)
+				}
+			}
+		}
+
+		// 3. Poll zombies: a late completion still counts for its range
+		// (and dedupes if someone else got there first); a terminal
+		// failure just drops the zombie.
+		live := zombies[:0]
+		for _, z := range zombies {
+			js, err := z.w.client.Status(ctx, z.jobID)
+			if err != nil {
+				live = append(live, z)
+				continue
+			}
+			switch js.State {
+			case "done":
+				if err := fetch(z.w, z.jobID, z.rng); err != nil {
+					logf("fleet: %v", err)
+					live = append(live, z)
+				}
+			case "failed", "cancelled", "interrupted":
+			default:
+				live = append(live, z)
+			}
+		}
+		zombies = live
+
+		// 4. Grant pending ranges to idle workers.
+		for _, w := range workers {
+			if w.lease != nil || tick.Before(w.coolUntil) {
+				continue
+			}
+			l, ok := table.Grant(w.base, tick, timeout)
+			if !ok {
+				break
+			}
+			js, err := w.client.Submit(ctx, spec, l.Start, l.End)
+			if err != nil {
+				logf("fleet: submitting %s to %s: %v", l.Range, w.base, err)
+				table.Release(l.Range)
+				w.coolUntil = tick.Add(timeout)
+				continue
+			}
+			st.Grants++
+			lease := l
+			w.lease, w.jobID, w.lastDone = &lease, js.ID, js.Done
+			logf("fleet: leased %s to %s (job %s)", l.Range, w.base, js.ID)
+		}
+
+		if table.Done() {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("fleet: %w", context.Cause(ctx))
+		case <-time.After(poll):
+		}
+	}
+
+	ms, err := mergeDownloads(spec, cls, dstPath, downloads)
+	if err != nil {
+		return nil, err
+	}
+	st.Merge = ms
+	return st, nil
+}
+
+// sanitize maps a worker base URL to a filename-safe tag.
+func sanitize(base string) string {
+	out := make([]byte, 0, len(base))
+	for i := 0; i < len(base); i++ {
+		switch b := base[i]; {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9', b == '.', b == '-':
+			out = append(out, b)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,198 @@
+// Package fleet distributes one campaign across many llcserve daemons:
+// a coordinator splits the spec's Expand order into fixed cell-range
+// leases, hands them to workers over the daemon HTTP API, expires and
+// reassigns leases that stop making progress, downloads each finished
+// range's checkpoint log with verification and retry, and merges the
+// logs centrally into an artifact byte-identical to an uninterrupted
+// single-process run (determinism clause 9: lease identity — a lease
+// is its cell range, so the merged bytes cannot depend on which worker
+// ran it, how often it was reassigned, or how many duplicates
+// finished).
+//
+// The package splits along its failure domains: Table is the pure
+// lease bookkeeping (no clock of its own — every method takes the
+// caller's now, so timeouts are testable without sleeping), Client is
+// the HTTP worker protocol with download verification and backoff, and
+// Run is the scheduling loop that composes them and merges the result.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Range is a half-open cell interval [Start, End) in the spec's Expand
+// order. Ranges are the lease unit and the coordinator's identity for
+// work: completions are credited to the range, never to the worker or
+// the lease that produced them (clause 9).
+type Range struct {
+	Start, End int
+}
+
+// String renders the range in half-open interval notation.
+func (r Range) String() string { return fmt.Sprintf("[%d, %d)", r.Start, r.End) }
+
+// Lease is a range granted to one worker until a deadline. The
+// coordinator renews it while the worker demonstrates progress; an
+// expired lease returns the range to the pending pool, but the old
+// worker's job is not cancelled — if it finishes anyway, the duplicate
+// completion is deduped byte-equal at merge time.
+type Lease struct {
+	Range
+	Worker  string
+	Expires time.Time
+}
+
+type rangeState int
+
+const (
+	rangePending rangeState = iota
+	rangeLeased
+	rangeCompleted
+)
+
+// Table is the coordinator's lease bookkeeping: a fixed partition of
+// [0, total) into leaseSize-cell ranges, each pending, leased, or
+// completed. It is not safe for concurrent use (the coordinator is a
+// single loop) and never reads the clock — Grant, Renew and ExpireDue
+// take the caller's now, which is the seam the unit tests drive.
+type Table struct {
+	ranges []Range
+	state  map[int]rangeState // keyed by Range.Start
+	leases map[int]*Lease     // leased ranges only, keyed by Range.Start
+}
+
+// NewTable partitions total cells into leases of leaseSize (the last
+// range may be shorter), all pending.
+func NewTable(total, leaseSize int) (*Table, error) {
+	if total <= 0 || leaseSize <= 0 {
+		return nil, fmt.Errorf("fleet: lease table needs total > 0 and lease size > 0 (got %d, %d)", total, leaseSize)
+	}
+	t := &Table{
+		state:  make(map[int]rangeState),
+		leases: make(map[int]*Lease),
+	}
+	for s := 0; s < total; s += leaseSize {
+		r := Range{Start: s, End: min(s+leaseSize, total)}
+		t.ranges = append(t.ranges, r)
+		t.state[r.Start] = rangePending
+	}
+	return t, nil
+}
+
+// Ranges returns the fixed partition in ascending Start order.
+func (t *Table) Ranges() []Range { return append([]Range(nil), t.ranges...) }
+
+// Grant leases the lowest pending range to worker until now+ttl.
+// ok is false when nothing is pending (everything is leased out or
+// completed).
+func (t *Table) Grant(worker string, now time.Time, ttl time.Duration) (Lease, bool) {
+	for _, r := range t.ranges {
+		if t.state[r.Start] != rangePending {
+			continue
+		}
+		l := Lease{Range: r, Worker: worker, Expires: now.Add(ttl)}
+		t.state[r.Start] = rangeLeased
+		t.leases[r.Start] = &l
+		return l, true
+	}
+	return Lease{}, false
+}
+
+// Renew pushes a live lease's deadline to now+ttl. The coordinator
+// calls it only when the worker demonstrated progress, so a responsive
+// but stuck worker still expires.
+func (t *Table) Renew(r Range, now time.Time, ttl time.Duration) error {
+	l, ok := t.leases[r.Start]
+	if !ok || l.Range != r {
+		return fmt.Errorf("fleet: renew: range %s is not leased", r)
+	}
+	l.Expires = now.Add(ttl)
+	return nil
+}
+
+// ExpireDue returns every lease whose deadline has passed and moves
+// those ranges back to pending, sorted by Start. The expired workers'
+// jobs keep running remotely — the coordinator tracks them as zombies
+// whose late completions dedupe at merge time.
+func (t *Table) ExpireDue(now time.Time) []Lease {
+	var out []Lease
+	for start, l := range t.leases {
+		if !l.Expires.After(now) {
+			out = append(out, *l)
+			t.state[start] = rangePending
+			delete(t.leases, start)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Start < out[b].Start })
+	return out
+}
+
+// Release returns a leased range to pending immediately — the path for
+// a failed submission or a worker that reported its job failed.
+func (t *Table) Release(r Range) error {
+	l, ok := t.leases[r.Start]
+	if !ok || l.Range != r {
+		return fmt.Errorf("fleet: release: range %s is not leased", r)
+	}
+	t.state[r.Start] = rangePending
+	delete(t.leases, r.Start)
+	return nil
+}
+
+// Complete marks a range's work finished, whoever produced it: the
+// live leaseholder, a zombie whose lease already expired, or a second
+// zombie after the reassigned holder also finished (dup reports that
+// case — the range was already completed, and the caller's duplicate
+// download will dedupe byte-equal at merge). Completing releases any
+// live lease on the range, superseding the holder.
+func (t *Table) Complete(r Range) (dup bool, err error) {
+	st, ok := t.state[r.Start]
+	if !ok {
+		return false, fmt.Errorf("fleet: complete: unknown range %s", r)
+	}
+	if l, leased := t.leases[r.Start]; leased && l.Range != r {
+		return false, fmt.Errorf("fleet: complete: range %s does not match lease %s", r, l.Range)
+	}
+	delete(t.leases, r.Start)
+	if st == rangeCompleted {
+		return true, nil
+	}
+	t.state[r.Start] = rangeCompleted
+	return false, nil
+}
+
+// Holder returns the live lease on a range, if any.
+func (t *Table) Holder(r Range) (Lease, bool) {
+	l, ok := t.leases[r.Start]
+	if !ok || l.Range != r {
+		return Lease{}, false
+	}
+	return *l, true
+}
+
+// Done reports whether every range has completed.
+func (t *Table) Done() bool {
+	for _, r := range t.ranges {
+		if t.state[r.Start] != rangeCompleted {
+			return false
+		}
+	}
+	return true
+}
+
+// Counts returns how many ranges are pending, leased, and completed.
+func (t *Table) Counts() (pending, leased, completed int) {
+	for _, r := range t.ranges {
+		switch t.state[r.Start] {
+		case rangePending:
+			pending++
+		case rangeLeased:
+			leased++
+		case rangeCompleted:
+			completed++
+		}
+	}
+	return
+}

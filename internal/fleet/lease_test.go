@@ -1,0 +1,219 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// clock is the test's injected time source: every Table method takes
+// an explicit now, so expiry scenarios run without a single sleep.
+type clock struct{ t time.Time }
+
+func (c *clock) now() time.Time          { return c.t }
+func (c *clock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClock() *clock                   { return &clock{t: time.Unix(1000, 0)} }
+func mustGrant(t *testing.T, tb *Table, w string, now time.Time, ttl time.Duration) Lease {
+	t.Helper()
+	l, ok := tb.Grant(w, now, ttl)
+	if !ok {
+		t.Fatalf("Grant(%s): nothing pending", w)
+	}
+	return l
+}
+
+func TestNewTablePartition(t *testing.T) {
+	for _, tc := range []struct {
+		total, size int
+		want        []Range
+	}{
+		{total: 10, size: 4, want: []Range{{0, 4}, {4, 8}, {8, 10}}},
+		{total: 4, size: 4, want: []Range{{0, 4}}},
+		{total: 3, size: 5, want: []Range{{0, 3}}},
+		{total: 6, size: 1, want: []Range{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}}},
+	} {
+		tb, err := NewTable(tc.total, tc.size)
+		if err != nil {
+			t.Fatalf("NewTable(%d, %d): %v", tc.total, tc.size, err)
+		}
+		got := tb.Ranges()
+		if len(got) != len(tc.want) {
+			t.Fatalf("NewTable(%d, %d) = %v, want %v", tc.total, tc.size, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("NewTable(%d, %d)[%d] = %v, want %v", tc.total, tc.size, i, got[i], tc.want[i])
+			}
+		}
+	}
+	for _, tc := range []struct{ total, size int }{{0, 4}, {-1, 4}, {4, 0}, {4, -2}} {
+		if _, err := NewTable(tc.total, tc.size); err == nil {
+			t.Fatalf("NewTable(%d, %d) accepted a degenerate partition", tc.total, tc.size)
+		}
+	}
+}
+
+func TestGrantLowestPendingFirst(t *testing.T) {
+	ck := newClock()
+	tb, _ := NewTable(9, 3)
+	l1 := mustGrant(t, tb, "a", ck.now(), time.Minute)
+	l2 := mustGrant(t, tb, "b", ck.now(), time.Minute)
+	l3 := mustGrant(t, tb, "c", ck.now(), time.Minute)
+	if l1.Start != 0 || l2.Start != 3 || l3.Start != 6 {
+		t.Fatalf("grants = %v %v %v, want starts 0,3,6", l1, l2, l3)
+	}
+	if _, ok := tb.Grant("d", ck.now(), time.Minute); ok {
+		t.Fatal("fourth grant succeeded with nothing pending")
+	}
+	if p, l, c := tb.Counts(); p != 0 || l != 3 || c != 0 {
+		t.Fatalf("counts = %d/%d/%d, want 0 pending, 3 leased, 0 completed", p, l, c)
+	}
+}
+
+func TestRenewDefersExpiry(t *testing.T) {
+	ck := newClock()
+	tb, _ := NewTable(4, 4)
+	l := mustGrant(t, tb, "a", ck.now(), time.Minute)
+
+	// Renewed just before the deadline, the lease survives it.
+	ck.advance(59 * time.Second)
+	if err := tb.Renew(l.Range, ck.now(), time.Minute); err != nil {
+		t.Fatalf("Renew: %v", err)
+	}
+	ck.advance(59 * time.Second)
+	if exp := tb.ExpireDue(ck.now()); len(exp) != 0 {
+		t.Fatalf("renewed lease expired early: %v", exp)
+	}
+	// Without another renewal it expires at the pushed deadline.
+	ck.advance(2 * time.Second)
+	exp := tb.ExpireDue(ck.now())
+	if len(exp) != 1 || exp[0].Range != l.Range || exp[0].Worker != "a" {
+		t.Fatalf("ExpireDue = %v, want the one lease", exp)
+	}
+	// The expired range is pending again and re-grantable.
+	if err := tb.Renew(l.Range, ck.now(), time.Minute); err == nil {
+		t.Fatal("Renew succeeded on an expired (pending) range")
+	}
+	l2 := mustGrant(t, tb, "b", ck.now(), time.Minute)
+	if l2.Range != l.Range {
+		t.Fatalf("re-grant = %v, want %v", l2.Range, l.Range)
+	}
+}
+
+func TestExpireDueReturnsOnlyDue(t *testing.T) {
+	ck := newClock()
+	tb, _ := NewTable(8, 4)
+	la := mustGrant(t, tb, "a", ck.now(), time.Minute)
+	ck.advance(30 * time.Second)
+	mustGrant(t, tb, "b", ck.now(), time.Minute)
+
+	ck.advance(31 * time.Second) // a is past its deadline, b is not
+	exp := tb.ExpireDue(ck.now())
+	if len(exp) != 1 || exp[0].Range != la.Range {
+		t.Fatalf("ExpireDue = %v, want only %v", exp, la.Range)
+	}
+	if p, l, _ := tb.Counts(); p != 1 || l != 1 {
+		t.Fatalf("counts after partial expiry = %d pending, %d leased; want 1, 1", p, l)
+	}
+}
+
+func TestReleaseReturnsRangeToPool(t *testing.T) {
+	ck := newClock()
+	tb, _ := NewTable(4, 4)
+	l := mustGrant(t, tb, "a", ck.now(), time.Minute)
+	if err := tb.Release(l.Range); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if err := tb.Release(l.Range); err == nil {
+		t.Fatal("second Release succeeded on a pending range")
+	}
+	l2 := mustGrant(t, tb, "b", ck.now(), time.Minute)
+	if l2.Range != l.Range {
+		t.Fatalf("re-grant after release = %v, want %v", l2.Range, l.Range)
+	}
+}
+
+// The duplicate-completion path is clause 9's heart: an expired
+// lease's worker finishing late must neither error nor double-count —
+// the first completion wins the range, later ones report dup so the
+// coordinator knows its download will dedupe at merge.
+func TestCompleteAndDuplicates(t *testing.T) {
+	ck := newClock()
+	tb, _ := NewTable(4, 2)
+	la := mustGrant(t, tb, "a", ck.now(), time.Minute)
+
+	// a's lease expires; the range reassigns to b, which completes it.
+	ck.advance(2 * time.Minute)
+	if exp := tb.ExpireDue(ck.now()); len(exp) != 1 {
+		t.Fatalf("ExpireDue = %v", exp)
+	}
+	lb := mustGrant(t, tb, "b", ck.now(), time.Minute)
+	if lb.Range != la.Range {
+		t.Fatalf("reassignment = %v, want %v", lb.Range, la.Range)
+	}
+	dup, err := tb.Complete(lb.Range)
+	if err != nil || dup {
+		t.Fatalf("first Complete = dup %v, err %v", dup, err)
+	}
+	// The zombie (a's job) finishes afterwards: same range, dup=true.
+	dup, err = tb.Complete(la.Range)
+	if err != nil || !dup {
+		t.Fatalf("zombie Complete = dup %v, err %v; want dup=true", dup, err)
+	}
+	// A completed range is never re-granted.
+	l2, ok := tb.Grant("c", ck.now(), time.Minute)
+	if ok && l2.Range == la.Range {
+		t.Fatalf("completed range re-granted: %v", l2)
+	}
+	if _, err := tb.Complete(Range{Start: 99, End: 100}); err == nil {
+		t.Fatal("Complete accepted an unknown range")
+	}
+}
+
+// A zombie completing while the REASSIGNED lease is still live must
+// supersede the holder: the range completes, the live lease dissolves,
+// and the holder's later completion is the duplicate.
+func TestZombieCompletionSupersedesLiveLease(t *testing.T) {
+	ck := newClock()
+	tb, _ := NewTable(2, 2)
+	la := mustGrant(t, tb, "a", ck.now(), time.Minute)
+	ck.advance(2 * time.Minute)
+	tb.ExpireDue(ck.now())
+	lb := mustGrant(t, tb, "b", ck.now(), time.Minute)
+
+	// a's zombie finishes first.
+	dup, err := tb.Complete(la.Range)
+	if err != nil || dup {
+		t.Fatalf("zombie Complete = dup %v, err %v", dup, err)
+	}
+	if _, held := tb.Holder(lb.Range); held {
+		t.Fatal("live lease survived a completed range")
+	}
+	if !tb.Done() {
+		t.Fatal("table not done after its only range completed")
+	}
+	// b finishing afterwards is the duplicate.
+	dup, err = tb.Complete(lb.Range)
+	if err != nil || !dup {
+		t.Fatalf("superseded holder Complete = dup %v, err %v; want dup=true", dup, err)
+	}
+}
+
+func TestDoneAndCounts(t *testing.T) {
+	ck := newClock()
+	tb, _ := NewTable(6, 2)
+	if tb.Done() {
+		t.Fatal("fresh table reports done")
+	}
+	for !tb.Done() {
+		l, ok := tb.Grant("w", ck.now(), time.Minute)
+		if !ok {
+			t.Fatal("grant failed with pending ranges left")
+		}
+		if dup, err := tb.Complete(l.Range); dup || err != nil {
+			t.Fatalf("Complete(%v) = dup %v, err %v", l.Range, dup, err)
+		}
+	}
+	if p, l, c := tb.Counts(); p != 0 || l != 0 || c != 3 {
+		t.Fatalf("final counts = %d/%d/%d, want 0/0/3", p, l, c)
+	}
+}

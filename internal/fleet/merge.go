@@ -1,0 +1,61 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/artifact"
+	"repro/internal/campaign"
+	"repro/internal/sweep"
+)
+
+// mergeDownloads combines the verified range logs into the final
+// artifact at dstPath, byte-identical to an uninterrupted sequential
+// run: records land in the grid's Expand order (clause 8), each source
+// may contribute only the keys of the range it was assigned
+// (artifact.MergeOptions.SourceKeys — the range-aware input check),
+// every payload must decode to the spec's trial count, and the merged
+// record count must equal the grid. Duplicate range logs (zombie
+// completions) merge as byte-equal duplicates or fail loudly. The
+// merge lands next to dstPath first and installs by rename, so a
+// failed merge never leaves a partial destination.
+func mergeDownloads(spec sweep.Spec, cls []sweep.Cell, dstPath string, downloads []download) (*artifact.MergeStats, error) {
+	order := make([]string, len(cls))
+	for i, c := range cls {
+		order[i] = c.Key
+	}
+	srcKeys := make(map[string][]string, len(downloads))
+	srcs := make([]string, 0, len(downloads))
+	for _, d := range downloads {
+		keys := make([]string, 0, d.rng.End-d.rng.Start)
+		for _, c := range cls[d.rng.Start:d.rng.End] {
+			keys = append(keys, c.Key)
+		}
+		srcKeys[d.path] = keys
+		srcs = append(srcs, d.path)
+	}
+	n := spec.Trials
+	tmp := filepath.Join(filepath.Dir(dstPath), "."+filepath.Base(dstPath)+".merge")
+	os.Remove(tmp)
+	st, err := artifact.Merge(tmp, campaign.Fingerprint(spec), artifact.MergeOptions{
+		Order: order,
+		Validate: func(key string, payload []byte) error {
+			_, err := campaign.DecodeSamples(payload, n)
+			return err
+		},
+		SourceKeys: srcKeys,
+	}, srcs...)
+	if err != nil {
+		return nil, err
+	}
+	if st.Records != len(order) {
+		os.Remove(tmp)
+		return nil, fmt.Errorf("fleet: merged %d of %d cells (incomplete coverage)", st.Records, len(order))
+	}
+	if err := os.Rename(tmp, dstPath); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	return st, nil
+}

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bufio"
@@ -10,12 +10,17 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/campaign"
 	"repro/internal/sweep"
+
+	// Register the end-to-end attack scenarios the test specs sweep.
+	_ "repro/internal/scenario"
 )
 
 // tinySpec is a fast 4-cell grid; its artifact doubles as the
@@ -40,30 +45,41 @@ func slowSpec() sweep.Spec {
 	}
 }
 
-func startServer(t *testing.T, dir string) (*server, *httptest.Server, context.CancelFunc) {
+func startServer(t *testing.T, dir string) (*Server, *httptest.Server, context.CancelFunc) {
 	t.Helper()
-	s, err := newServer(dir, serverOptions{workers: 1})
+	s, err := New(dir, Options{Workers: 1})
 	if err != nil {
-		t.Fatalf("newServer: %v", err)
+		t.Fatalf("New: %v", err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	s.start(ctx)
-	ts := httptest.NewServer(s.handler())
+	s.Start(ctx)
+	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
 		cancel()
-		s.wait()
+		s.Wait()
 	})
 	return s, ts, cancel
 }
 
 func postSpec(t *testing.T, ts *httptest.Server, spec sweep.Spec) (int, job) {
 	t.Helper()
+	return postSpecURL(t, ts.URL+"/api/v1/jobs", spec)
+}
+
+// postSpecRange submits the cell range [start, end) of spec.
+func postSpecRange(t *testing.T, ts *httptest.Server, spec sweep.Spec, start, end int) (int, job) {
+	t.Helper()
+	return postSpecURL(t, fmt.Sprintf("%s/api/v1/jobs?start=%d&end=%d", ts.URL, start, end), spec)
+}
+
+func postSpecURL(t *testing.T, url string, spec sweep.Spec) (int, job) {
+	t.Helper()
 	body, err := json.Marshal(spec)
 	if err != nil {
 		t.Fatalf("marshal spec: %v", err)
 	}
-	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatalf("POST /jobs: %v", err)
 	}
@@ -117,7 +133,7 @@ func TestSubmitRunResult(t *testing.T) {
 	if code != http.StatusCreated {
 		t.Fatalf("submit: status %d, want 201", code)
 	}
-	if j.ID != jobID(specNormalized(spec)) || j.Total != 4 {
+	if j.ID != jobID(specNormalized(spec), 0, 0) || j.Total != 4 {
 		t.Fatalf("job = %+v", j)
 	}
 	done := waitState(t, ts, j.ID, "done", func(j job) bool { return j.State == stateDone })
@@ -214,6 +230,27 @@ func TestSubmitRejectsBadSpecs(t *testing.T) {
 	}
 }
 
+// Range submissions must be validated against the spec's own grid:
+// half-open, inside [0, total), and with both bounds present.
+func TestSubmitRejectsBadRanges(t *testing.T) {
+	_, ts, _ := startServer(t, t.TempDir())
+	for _, q := range []string{
+		"?start=1",          // end missing
+		"?end=3",            // start missing
+		"?start=a&end=3",    // non-numeric
+		"?start=-1&end=2",   // negative
+		"?start=2&end=2",    // empty range
+		"?start=3&end=2",    // inverted
+		"?start=0&end=5",    // beyond the 4-cell grid
+		"?start=99&end=100", // entirely outside
+	} {
+		code, _ := postSpecURL(t, ts.URL+"/api/v1/jobs"+q, tinySpec())
+		if code != http.StatusBadRequest {
+			t.Fatalf("range %q: status %d, want 400", q, code)
+		}
+	}
+}
+
 func TestUnknownJobIs404AndEarlyResultIs409(t *testing.T) {
 	_, ts, _ := startServer(t, t.TempDir())
 	resp, err := http.Get(ts.URL + "/api/v1/jobs/deadbeefdeadbeef")
@@ -233,6 +270,159 @@ func TestUnknownJobIs404AndEarlyResultIs409(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("result before done: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// The artifact endpoint's error paths: unknown job 404, not-done 409,
+// wrong HTTP method 405 (the mux method patterns), and a done range
+// job refusing the result endpoint with 409 because it has no
+// aggregate.
+func TestArtifactEndpointErrorPaths(t *testing.T) {
+	_, ts, _ := startServer(t, t.TempDir())
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/deadbeefdeadbeef/artifact")
+	if err != nil {
+		t.Fatalf("GET artifact: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job artifact: status %d, want 404", resp.StatusCode)
+	}
+
+	// A running (or queued) job must refuse the download — its log is
+	// mid-append and a coordinator must never merge a half-computed
+	// range.
+	_, j := postSpec(t, ts, slowSpec())
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/" + j.ID + "/artifact")
+	if err != nil {
+		t.Fatalf("GET artifact: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("artifact before done: status %d, want 409", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/api/v1/jobs/"+j.ID+"/artifact", "", nil)
+	if err != nil {
+		t.Fatalf("POST artifact: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST to artifact endpoint: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestRangeJobLifecycle drives one cell-range lease end to end: submit
+// [1, 3) of a 4-cell grid, watch it run exactly 2 cells, refuse the
+// result endpoint (no aggregate), and download a checkpoint log
+// holding exactly the range's keys with decodable payloads.
+func TestRangeJobLifecycle(t *testing.T) {
+	_, ts, _ := startServer(t, t.TempDir())
+	spec := specNormalized(tinySpec())
+	cls := sweep.Expand(spec)
+
+	code, j := postSpecRange(t, ts, spec, 1, 3)
+	if code != http.StatusCreated {
+		t.Fatalf("submit range: status %d, want 201", code)
+	}
+	wantID := fmt.Sprintf("%016x-r1-3", campaign.Fingerprint(spec))
+	if j.ID != wantID || j.Total != 2 || j.CellStart != 1 || j.CellEnd != 3 {
+		t.Fatalf("range job = %+v, want ID %s Total 2", j, wantID)
+	}
+	done := waitState(t, ts, j.ID, "done", func(j job) bool { return j.State == stateDone })
+	if done.Done != 2 || done.Error != "" {
+		t.Fatalf("done range job = %+v", done)
+	}
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + j.ID + "/result")
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("result of range job: status %d, want 409", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/" + j.ID + "/artifact")
+	if err != nil {
+		t.Fatalf("GET artifact: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET artifact: status %d, want 200", resp.StatusCode)
+	}
+	dst := filepath.Join(t.TempDir(), "range.cells")
+	f, err := os.Create(dst)
+	if err != nil {
+		t.Fatalf("creating download target: %v", err)
+	}
+	if _, err := f.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("downloading artifact: %v", err)
+	}
+	f.Close()
+	keys := []string{cls[1].Key, cls[2].Key}
+	n, err := artifact.CheckKeys(dst, campaign.Fingerprint(spec), keys)
+	if err != nil {
+		t.Fatalf("downloaded log failed verification: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("downloaded log holds %d records, want 2", n)
+	}
+
+	// The same grid's other range is a distinct job.
+	code, j2 := postSpecRange(t, ts, spec, 0, 1)
+	if code != http.StatusCreated || j2.ID == j.ID {
+		t.Fatalf("second range: status %d id %s (first was %s)", code, j2.ID, j.ID)
+	}
+}
+
+// TestRangeJobRestartDetection restarts a daemon over a data directory
+// holding one finished and one never-started range job: done-ness must
+// be re-derived from the checkpoint log itself (range jobs have no
+// result artifact), and the unfinished one must surface as interrupted.
+func TestRangeJobRestartDetection(t *testing.T) {
+	dir := t.TempDir()
+	spec := specNormalized(tinySpec())
+
+	s1, err := New(dir, Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	s1.Start(ctx1)
+	ts1 := httptest.NewServer(s1.Handler())
+	_, j := postSpecRange(t, ts1, spec, 0, 2)
+	waitState(t, ts1, j.ID, "done", func(j job) bool { return j.State == stateDone })
+	cancel1()
+	s1.Wait()
+	ts1.Close()
+
+	// Plant a second range job's spec with no checkpoint log at all: a
+	// previous incarnation accepted it but never ran a cell.
+	plantID := fmt.Sprintf("%016x-r2-4", campaign.Fingerprint(spec))
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, plantID+".spec.json"), append(data, '\n'), 0o644); err != nil {
+		t.Fatalf("planting spec: %v", err)
+	}
+
+	s2, err := New(dir, Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("New (restart): %v", err)
+	}
+	s2.mu.Lock()
+	finished, plant := s2.jobs[j.ID], s2.jobs[plantID]
+	s2.mu.Unlock()
+	if finished == nil || finished.State != stateDone || finished.Done != 2 {
+		t.Fatalf("restart sees finished range job as %+v, want done with 2 cells", finished)
+	}
+	if finished.doneAt.IsZero() {
+		t.Fatalf("restart left doneAt zero; retention would treat the job as infinitely old")
+	}
+	if plant == nil || plant.State != stateInterrupted {
+		t.Fatalf("restart sees planted range job as %+v, want interrupted", plant)
 	}
 }
 
@@ -304,17 +494,17 @@ func TestDrainMarksInterruptedAndRestartResumes(t *testing.T) {
 	dir := t.TempDir()
 	spec := slowSpec()
 
-	s1, err := newServer(dir, serverOptions{workers: 1})
+	s1, err := New(dir, Options{Workers: 1})
 	if err != nil {
-		t.Fatalf("newServer: %v", err)
+		t.Fatalf("New: %v", err)
 	}
 	ctx1, cancel1 := context.WithCancel(context.Background())
-	s1.start(ctx1)
-	ts1 := httptest.NewServer(s1.handler())
+	s1.Start(ctx1)
+	ts1 := httptest.NewServer(s1.Handler())
 	_, j := postSpec(t, ts1, spec)
 	waitState(t, ts1, j.ID, "first cell done", func(j job) bool { return j.Done >= 1 })
 	cancel1() // daemon drain: the campaign stops at the next trial boundary
-	s1.wait()
+	s1.Wait()
 	ts1.Close()
 
 	s2, ts2, _ := startServer(t, dir)
@@ -356,9 +546,9 @@ func TestDrainMarksInterruptedAndRestartResumes(t *testing.T) {
 	}
 
 	// A third incarnation over the finished directory lists it as done.
-	s3, err := newServer(dir, serverOptions{workers: 1})
+	s3, err := New(dir, Options{Workers: 1})
 	if err != nil {
-		t.Fatalf("newServer (third): %v", err)
+		t.Fatalf("New (third): %v", err)
 	}
 	s3.mu.Lock()
 	j3 := s3.jobs[j.ID]
@@ -403,12 +593,12 @@ func TestListOrdersBySubmission(t *testing.T) {
 // it. The queue is an unbounded slice now, so well over 1024 submits
 // must complete even when nothing is draining the queue at all.
 func TestSubmitManyQueuedDoesNotDeadlock(t *testing.T) {
-	s, err := newServer(t.TempDir(), serverOptions{workers: 1})
+	s, err := New(t.TempDir(), Options{Workers: 1})
 	if err != nil {
-		t.Fatalf("newServer: %v", err)
+		t.Fatalf("New: %v", err)
 	}
-	// Deliberately never s.start: the queue only grows.
-	ts := httptest.NewServer(s.handler())
+	// Deliberately never s.Start: the queue only grows.
+	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
 	const submits = 1100
@@ -460,7 +650,7 @@ func TestSubmitManyQueuedDoesNotDeadlock(t *testing.T) {
 func TestTornHeaderCellsRecovers(t *testing.T) {
 	dir := t.TempDir()
 	spec := specNormalized(tinySpec())
-	id := jobID(spec)
+	id := jobID(spec, 0, 0)
 	data, err := json.MarshalIndent(spec, "", "  ")
 	if err != nil {
 		t.Fatalf("marshal: %v", err)
@@ -489,11 +679,11 @@ func TestTornHeaderCellsRecovers(t *testing.T) {
 // skipped the first i events of the new run. The generation counter
 // must make the stream replay the rerun from its first event.
 func TestEventsReplayAfterResubmit(t *testing.T) {
-	s, err := newServer(t.TempDir(), serverOptions{workers: 1})
+	s, err := New(t.TempDir(), Options{Workers: 1})
 	if err != nil {
-		t.Fatalf("newServer: %v", err)
+		t.Fatalf("New: %v", err)
 	}
-	ts := httptest.NewServer(s.handler())
+	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
 	// No runner yet: the job stays queued, exactly the window between a
@@ -536,10 +726,10 @@ func TestEventsReplayAfterResubmit(t *testing.T) {
 	// The client is parked at index == fakes. Now let the rerun start
 	// and reset the backlog.
 	ctx, cancel := context.WithCancel(context.Background())
-	s.start(ctx)
+	s.Start(ctx)
 	t.Cleanup(func() {
 		cancel()
-		s.wait()
+		s.Wait()
 	})
 
 	var live []campaign.Event
@@ -561,17 +751,17 @@ func TestEventsReplayAfterResubmit(t *testing.T) {
 // Two jobs must run simultaneously under -jobs 2; the FIFO-of-one this
 // replaced could never reach that state.
 func TestConcurrentJobsRunTogether(t *testing.T) {
-	s, err := newServer(t.TempDir(), serverOptions{workers: 2, jobs: 2})
+	s, err := New(t.TempDir(), Options{Workers: 2, Jobs: 2})
 	if err != nil {
-		t.Fatalf("newServer: %v", err)
+		t.Fatalf("New: %v", err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	s.start(ctx)
-	ts := httptest.NewServer(s.handler())
+	s.Start(ctx)
+	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
 		cancel()
-		s.wait()
+		s.Wait()
 	})
 
 	a := slowSpec()
@@ -609,9 +799,9 @@ func TestConcurrentJobsRunTogether(t *testing.T) {
 // old they are.
 func TestRetentionGC(t *testing.T) {
 	dir := t.TempDir()
-	s, err := newServer(dir, serverOptions{workers: 1, retainAge: time.Hour, retainCount: 1})
+	s, err := New(dir, Options{Workers: 1, RetainAge: time.Hour, RetainCount: 1})
 	if err != nil {
-		t.Fatalf("newServer: %v", err)
+		t.Fatalf("New: %v", err)
 	}
 	plant := func(id string, state jobState, doneAt time.Time) {
 		t.Helper()
@@ -648,5 +838,80 @@ func TestRetentionGC(t *testing.T) {
 				t.Fatalf("%s: exists=%v, want %v", p, got, want)
 			}
 		}
+	}
+}
+
+// TestDrainLeavesNoGoroutines pins the full drain contract: with
+// retention configured (its ticker goroutine running) and an /events
+// stream blocked on a QUEUED job (which will never progress in this
+// incarnation), cancelling the daemon context must terminate the
+// runners, the retention ticker, AND the event stream — Wait must
+// return promptly and the goroutine count must fall back to its
+// pre-start baseline. The events leg is a regression: the stream's
+// wait loop used to block on job state alone, so a drained daemon held
+// the handler goroutine (and any HTTP shutdown behind it) forever.
+func TestDrainLeavesNoGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	s, err := New(t.TempDir(), Options{Workers: 1, Jobs: 1, RetainAge: time.Hour})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.Start(ctx)
+	ts := httptest.NewServer(s.Handler())
+
+	// Occupy the single runner slot so the next job stays queued.
+	_, running := postSpec(t, ts, slowSpec())
+	waitState(t, ts, running.ID, "running", func(j job) bool { return j.State == stateRunning })
+	_, queued := postSpec(t, ts, tinySpec())
+
+	// Park an events stream on the queued job; it has no backlog and no
+	// terminal state, so the handler blocks in the cond wait.
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + queued.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	streamDone := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+		}
+		resp.Body.Close()
+		streamDone <- sc.Err()
+	}()
+
+	cancel()
+	waitDone := make(chan struct{})
+	go func() {
+		s.Wait()
+		close(waitDone)
+	}()
+	select {
+	case <-waitDone:
+	case <-time.After(time.Minute):
+		t.Fatal("Wait did not return after drain (runner or retention ticker leaked)")
+	}
+	select {
+	case <-streamDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("events stream on a queued job survived the drain")
+	}
+	ts.Close()
+
+	// Give exiting goroutines a moment to unwind, then require the
+	// count back at baseline (with slack for the test's own plumbing
+	// and httptest teardown).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked after drain: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }
