@@ -26,6 +26,7 @@ import (
 	"repro/internal/hierarchy"
 	"repro/internal/lattice"
 	"repro/internal/memory"
+	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/psd"
 	"repro/internal/scenario"
@@ -505,4 +506,31 @@ func BenchmarkDefense_Partition(b *testing.B) {
 
 func BenchmarkDefense_Randomize(b *testing.B) {
 	benchDefense(b, defense.Spec{Model: "randomize"})
+}
+
+// --- Observability: the disabled path must stay free ----------------------
+
+// BenchmarkObs_DisabledHooks times the nil-receiver no-op path every
+// instrumented loop pays when -trace/-metrics are off — the zero-cost
+// half of determinism clause 10. Each op performs 1000 rounds of the
+// disabled counter/gauge/histogram/trace calls the engine and campaign
+// hot paths make, so the guard measures the hook overhead itself rather
+// than loop scaffolding (and stays measurable at -benchtime=3x).
+func BenchmarkObs_DisabledHooks(b *testing.B) {
+	var reg *obs.Registry
+	var tr *obs.TrialTrace
+	ctr := reg.Counter("bench_total")
+	gauge := reg.Gauge("bench_gauge")
+	hist := reg.Histogram("bench_seconds", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 1000; k++ {
+			ctr.Inc()
+			gauge.Set(1)
+			hist.Observe(1)
+			if tr.Enabled() {
+				tr.Span("x", "phase", 0, 1, 0, true)
+			}
+		}
+	}
 }

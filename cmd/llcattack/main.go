@@ -14,6 +14,15 @@
 // -parallel value on the architecture that runs it; wall-clock timing
 // goes to stderr, never into the report (the determinism contract shared
 // with cmd/llcrepro and cmd/llcsweep).
+//
+// -trace FILE additionally writes a Chrome trace_event JSON file
+// (load it in Perfetto or chrome://tracing): one process per scenario,
+// one thread per trial, one cat="phase" span per pipeline step on the
+// SIMULATED-cycle timeline (per-trial phase spans sum exactly to the
+// trial's cycle budget), with host wall time per phase in each span's
+// args — which is how a phase that is cheap in simulated time but
+// expensive on the host (e.g. the Norm-jitter wall) is located. Tracing
+// never changes a report byte (determinism clause 10).
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/defense"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/scenario"
 	"repro/internal/tenant"
@@ -51,16 +61,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("llcattack", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		id       = fs.String("scenario", "", "scenario id to run (see -list)")
-		trials   = fs.Int("trials", 8, "independent end-to-end trials")
-		seed     = fs.Uint64("seed", 1, "deterministic seed")
-		parallel = fs.Int("parallel", 0, "trial workers (0 = GOMAXPROCS, 1 = sequential); never changes the report")
-		tenants  = fs.String("tenants", "", "background-tenant override: ';'-separated specs (\"burst:rate=34.5,on_frac=0.1\") or JSON (see -list)")
-		def      = fs.String("defense", "", "LLC-defense override: one spec (\"partition:ways=4\") or \"none\" (see -list)")
-		outFile  = fs.String("o", "", "write the report to a file instead of stdout")
-		list     = fs.Bool("list", false, "list scenario ids, tenant models and defense models")
-		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the scenario run to this file")
-		memProf  = fs.String("memprofile", "", "write a post-run pprof heap profile to this file")
+		id        = fs.String("scenario", "", "scenario id to run (see -list)")
+		trials    = fs.Int("trials", 8, "independent end-to-end trials")
+		seed      = fs.Uint64("seed", 1, "deterministic seed")
+		parallel  = fs.Int("parallel", 0, "trial workers (0 = GOMAXPROCS, 1 = sequential); never changes the report")
+		tenants   = fs.String("tenants", "", "background-tenant override: ';'-separated specs (\"burst:rate=34.5,on_frac=0.1\") or JSON (see -list)")
+		def       = fs.String("defense", "", "LLC-defense override: one spec (\"partition:ways=4\") or \"none\" (see -list)")
+		outFile   = fs.String("o", "", "write the report to a file instead of stdout")
+		list      = fs.Bool("list", false, "list scenario ids, tenant models and defense models")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the scenario run to this file")
+		memProf   = fs.String("memprofile", "", "write a post-run pprof heap profile to this file")
+		blockProf = fs.String("blockprofile", "", "write a post-run pprof goroutine-blocking profile to this file")
+		mutexProf = fs.String("mutexprofile", "", "write a post-run pprof mutex-contention profile to this file")
+		traceFile = fs.String("trace", "", "write a Chrome trace_event JSON file of the run's phases (Perfetto-viewable); never changes the report")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -138,17 +151,33 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// Profiles bracket only the scenario run — flag parsing and report
 	// writing stay outside — and go to their own files, so profiling
 	// cannot perturb the byte-identical report.
-	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	stopProf, err := profiling.StartWith(profiling.Config{
+		CPUFile: *cpuProf, MemFile: *memProf,
+		BlockFile: *blockProf, MutexFile: *mutexProf,
+	})
 	if err != nil {
 		return fail(err)
 	}
+	// The sink is nil unless -trace is set, which is the engine's exact
+	// untraced path; a traced run's report is byte-identical anyway
+	// (determinism clause 10, pinned by TestTraceByteIdentity).
+	var sink *obs.Sink
+	if *traceFile != "" {
+		sink = &obs.Sink{Tracer: obs.NewTracer()}
+	}
 	start := time.Now()
-	rep, err := scenario.RunWith(ctx, *id, specs, defSpec, *trials, *parallel, *seed)
+	rep, err := scenario.RunWithObs(ctx, *id, specs, defSpec, *trials, *parallel, *seed, sink)
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
 	if err != nil {
 		return fail(err)
+	}
+	if sink != nil {
+		if terr := writeTrace(*traceFile, sink.Tracer); terr != nil {
+			return fail(terr)
+		}
+		fmt.Fprintf(stderr, "llcattack: trace: %d spans -> %s\n", sink.Tracer.Len(), *traceFile)
 	}
 	// Wall time goes to stderr so the report stays byte-identical across
 	// runs and worker counts.
@@ -172,4 +201,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	return 0
+}
+
+// writeTrace installs the trace file atomically (temp + rename, the
+// report convention), so a crash mid-write never leaves a truncated
+// trace that a viewer would reject.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	err = f.Chmod(0o644)
+	if err == nil {
+		err = tr.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(f.Name(), path)
+	}
+	if err != nil {
+		os.Remove(f.Name())
+	}
+	return err
 }

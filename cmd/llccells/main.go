@@ -6,7 +6,7 @@
 //
 //	llccells -spec grid.json -cells grid.cells                 # aggregate JSON artifact
 //	llccells -spec grid.json -cells grid.cells -csv -o out.csv # CSV view
-//	llccells -spec grid.json -cells grid.cells -status         # cells-done / cells-missing report
+//	llccells -spec grid.json -cells grid.cells -status         # cells-done / cells-missing / bytes report
 //	llccells -spec grid.json -cells grid.cells -filter QLRU    # only cells whose key contains QLRU
 //	llccells -spec grid.json -cells grid.cells -trials         # ndjson per-trial dump
 //
@@ -113,6 +113,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cls := sweep.Expand(spec)
 	var views []cellView
 	var missing []sweep.Cell
+	var payloadBytes int64
 	for _, c := range cls {
 		if *filter != "" && !strings.Contains(c.Key, *filter) {
 			continue
@@ -122,6 +123,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			missing = append(missing, c)
 			continue
 		}
+		payloadBytes += int64(len(payload))
 		ss, err := campaign.DecodeSamples(payload, spec.Trials)
 		if err != nil {
 			// The fingerprint pins the trial count, so an undecodable
@@ -138,8 +140,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *filter != "" {
 			scope = fmt.Sprintf("cells matching %q", *filter)
 		}
+		// The byte/record line is storage accounting for operators sizing
+		// -workdir and retention: payload bytes are the decoded sample
+		// records in scope, trials the samples they hold.
 		fmt.Fprintf(stdout, "log %s: %d of %d %s cell(s) done, %d missing\n",
 			*cellsLog, len(views), len(views)+len(missing), scope, len(missing))
+		fmt.Fprintf(stdout, "records: %d cell payload(s), %d trial sample(s), %d payload byte(s)\n",
+			len(views), len(views)*spec.Trials, payloadBytes)
 		for _, c := range missing {
 			fmt.Fprintf(stdout, "missing %s\n", c.Coords())
 		}

@@ -15,6 +15,17 @@
 // -checkpoint writes: feed it back to llcsweep (which skips every
 // verified cell and emits the aggregate) or to llccells for per-trial
 // export. Exit status: 0 on success, 1 on failure, 2 on usage errors.
+//
+// While the run is in flight the coordinator reports on stderr: a
+// periodic one-line progress summary (cells done, lease-range states,
+// cells/s, ETA; cadence set by -progress) plus per-event scheduling
+// lines. -q silences the routine lines but NOT lease expiries or
+// worker failures — those always print, since they are how an operator
+// learns a worker died. -metrics-addr additionally serves the same
+// telemetry as Prometheus text (fleet_leases_total by event,
+// fleet_cells_completed_total, per-worker cells/s, ETA) at GET
+// /metrics; none of it changes the merged artifact (determinism
+// clause 10).
 package main
 
 import (
@@ -24,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -31,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 
 	// Register the end-to-end attack scenarios as sweepable cell
@@ -56,7 +70,9 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 		leaseTimeout = fs.Duration("lease-timeout", 30*time.Second, "reassign a lease after this long without progress")
 		poll         = fs.Duration("poll", 250*time.Millisecond, "scheduling loop tick")
 		workDir      = fs.String("workdir", "", "directory for downloaded range logs (default: a temp dir, removed on success)")
-		quiet        = fs.Bool("q", false, "suppress scheduling-event log lines")
+		quiet        = fs.Bool("q", false, "suppress scheduling-event log lines (lease expiries and worker failures still print)")
+		metricsAddr  = fs.String("metrics-addr", "", "serve Prometheus-text coordinator metrics on this address at GET /metrics")
+		progress     = fs.Duration("progress", 10*time.Second, "period for the one-line progress summary on stderr (0 = default 10s)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -95,23 +111,55 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 	logf := func(format string, fargs ...any) {
 		fmt.Fprintf(stderr, format+"\n", fargs...)
 	}
+	// -q silences routine scheduling chatter and the progress line, but
+	// never the error channel: lease expiries and worker failures are how
+	// an operator learns a box died, so Errorf always reaches stderr.
+	errf := logf
+	progf := logf
 	if *quiet {
 		logf = nil
+		progf = nil
 	}
+
+	// -metrics-addr exports the coordinator's counters and gauges while
+	// the run is in flight; reading them never changes the merged
+	// artifact (determinism clause 10).
+	metrics := obs.NewRegistry()
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "llcfleet: %v\n", err)
+			return 1
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			metrics.WritePrometheus(w)
+		})
+		ms := &http.Server{Handler: mux}
+		defer ms.Close()
+		go ms.Serve(ln)
+		fmt.Fprintf(stderr, "llcfleet: metrics on http://%s/metrics\n", ln.Addr())
+	}
+
 	st, err := fleet.Run(ctx, spec, *out, fleet.Options{
-		Workers:      workers,
-		LeaseSize:    *leaseSize,
-		LeaseTimeout: *leaseTimeout,
-		Poll:         *poll,
-		WorkDir:      *workDir,
-		Logf:         logf,
+		Workers:       workers,
+		LeaseSize:     *leaseSize,
+		LeaseTimeout:  *leaseTimeout,
+		Poll:          *poll,
+		WorkDir:       *workDir,
+		Logf:          logf,
+		Errorf:        errf,
+		Progressf:     progf,
+		ProgressEvery: *progress,
+		Metrics:       metrics,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "llcfleet: %v\n", err)
 		return 1
 	}
 	fmt.Fprintf(stderr,
-		"llcfleet: merged %d cells from %d sources into %s (%d leases, %d grants, %d expired, %d duplicate completions, %d deduped records)\n",
-		st.Merge.Records, st.Merge.Sources, *out, st.Ranges, st.Grants, st.Expired, st.Duplicates, st.Merge.Deduped)
+		"llcfleet: merged %d cells from %d sources into %s (%d leases, %d grants, %d renewed, %d expired, %d superseded, %d duplicate completions, %d deduped records)\n",
+		st.Merge.Records, st.Merge.Sources, *out, st.Ranges, st.Grants, st.Renewed, st.Expired, st.Superseded, st.Duplicates, st.Merge.Deduped)
 	return 0
 }

@@ -17,7 +17,8 @@
 //	GET  /api/v1/jobs/{id}/artifact the job's raw .cells checkpoint log (done jobs only)
 //	GET  /api/v1/jobs/{id}/events   ndjson stream of per-cell completions: backlog, then live
 //	POST /api/v1/jobs/{id}/cancel   stop a queued or running job at the next trial boundary
-//	GET  /healthz                   liveness probe
+//	GET  /healthz                   liveness probe: JSON {status, uptime_s, jobs_running, queue_depth}
+//	GET  /metrics                   Prometheus text: queue depth, jobs by state, cells/s, GC reaps, event-stream clients
 //
 // The job ID is the spec's campaign fingerprint (16 hex digits), plus
 // "-r<start>-<end>" for cell-range jobs, so a job IS its

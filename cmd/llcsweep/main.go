@@ -34,6 +34,14 @@
 // `-checkpoint merged.cells -resume` (or cmd/llccells) renders the
 // aggregate artifact — byte-identical to running the grid in one
 // process.
+//
+// Observability: -trace FILE writes a Chrome trace_event JSON file
+// (one trace process per grid cell, one thread per trial, phase spans
+// on the simulated-cycle timeline), and -metrics prints the run's
+// telemetry — per-trial and per-cell duration histograms, cell
+// completed/resumed counters, checkpoint append bytes — as Prometheus
+// text on stderr. Neither changes a single artifact byte (determinism
+// clause 10).
 package main
 
 import (
@@ -56,6 +64,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/defense"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/sweep"
 	"repro/internal/tenant"
@@ -81,26 +90,30 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("llcsweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		specFile = fs.String("spec", "", "JSON sweep spec file (flags override its fields)")
-		exps     = fs.String("experiments", "", "comma-separated cell experiment ids (see -list)")
-		policies = fs.String("policies", "", "comma-separated replacement policies (LRU,Tree-PLRU,SRRIP,QLRU,Random)")
-		assocs   = fs.String("assocs", "", "comma-separated SF associativities (LLC follows one way below)")
-		slices   = fs.String("slices", "", "comma-separated LLC/SF slice counts")
-		noise    = fs.String("noise", "", "comma-separated noise rates in accesses/ms/set (0.29=local, 11.5=Cloud Run)")
-		tmodels  = fs.String("tenant-models", "", "comma-separated background tenant models (poisson,burst,stream,hotset,churn; see -list)")
-		defs     = fs.String("defenses", "", "comma-separated LLC defense specs (none,partition:ways=4,randomize,scatter,quiesce; see -list)")
-		trials   = fs.Int("trials", 0, "trials per cell (0 = default 10)")
-		seed     = fs.Uint64("seed", 1, "deterministic seed (an explicit 0 is honoured)")
-		parallel = fs.Int("parallel", 0, "trial workers (0 = GOMAXPROCS, 1 = sequential); never changes the artifact")
-		asCSV    = fs.Bool("csv", false, "emit CSV instead of JSON")
-		outFile  = fs.String("o", "", "write the artifact to a file instead of stdout")
-		ckptFile = fs.String("checkpoint", "", "binary cell-result log: append each completed cell so an interrupted grid can resume")
-		resume   = fs.Bool("resume", false, "with -checkpoint: reuse an existing log, skipping checksum-verified cells")
-		shard    = fs.String("shard", "", "run one deterministic grid slice i/N (round-robin by cell index) into -checkpoint; N processes with N logs cover the grid")
-		merge    = fs.String("merge", "", "comma-separated shard checkpoint logs to merge into -checkpoint (byte-identical to a sequential single-process log)")
-		list     = fs.Bool("list", false, "list cell experiment ids")
-		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep run to this file")
-		memProf  = fs.String("memprofile", "", "write a post-run pprof heap profile to this file")
+		specFile  = fs.String("spec", "", "JSON sweep spec file (flags override its fields)")
+		exps      = fs.String("experiments", "", "comma-separated cell experiment ids (see -list)")
+		policies  = fs.String("policies", "", "comma-separated replacement policies (LRU,Tree-PLRU,SRRIP,QLRU,Random)")
+		assocs    = fs.String("assocs", "", "comma-separated SF associativities (LLC follows one way below)")
+		slices    = fs.String("slices", "", "comma-separated LLC/SF slice counts")
+		noise     = fs.String("noise", "", "comma-separated noise rates in accesses/ms/set (0.29=local, 11.5=Cloud Run)")
+		tmodels   = fs.String("tenant-models", "", "comma-separated background tenant models (poisson,burst,stream,hotset,churn; see -list)")
+		defs      = fs.String("defenses", "", "comma-separated LLC defense specs (none,partition:ways=4,randomize,scatter,quiesce; see -list)")
+		trials    = fs.Int("trials", 0, "trials per cell (0 = default 10)")
+		seed      = fs.Uint64("seed", 1, "deterministic seed (an explicit 0 is honoured)")
+		parallel  = fs.Int("parallel", 0, "trial workers (0 = GOMAXPROCS, 1 = sequential); never changes the artifact")
+		asCSV     = fs.Bool("csv", false, "emit CSV instead of JSON")
+		outFile   = fs.String("o", "", "write the artifact to a file instead of stdout")
+		ckptFile  = fs.String("checkpoint", "", "binary cell-result log: append each completed cell so an interrupted grid can resume")
+		resume    = fs.Bool("resume", false, "with -checkpoint: reuse an existing log, skipping checksum-verified cells")
+		shard     = fs.String("shard", "", "run one deterministic grid slice i/N (round-robin by cell index) into -checkpoint; N processes with N logs cover the grid")
+		merge     = fs.String("merge", "", "comma-separated shard checkpoint logs to merge into -checkpoint (byte-identical to a sequential single-process log)")
+		list      = fs.Bool("list", false, "list cell experiment ids")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep run to this file")
+		memProf   = fs.String("memprofile", "", "write a post-run pprof heap profile to this file")
+		blockProf = fs.String("blockprofile", "", "write a post-run pprof goroutine-blocking profile to this file")
+		mutexProf = fs.String("mutexprofile", "", "write a post-run pprof mutex-contention profile to this file")
+		traceFile = fs.String("trace", "", "write a Chrome trace_event JSON file of the run (Perfetto-viewable); never changes the artifact")
+		metrics   = fs.Bool("metrics", false, "print run telemetry (trial/cell histograms, cell counters, append bytes) as Prometheus text on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -338,9 +351,46 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// Profiles bracket only the sweep run — spec plumbing and artifact
 	// writing stay outside — and go to their own files, so profiling
 	// cannot perturb the byte-identical artifact.
-	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	stopProf, err := profiling.StartWith(profiling.Config{
+		CPUFile: *cpuProf, MemFile: *memProf,
+		BlockFile: *blockProf, MutexFile: *mutexProf,
+	})
 	if err != nil {
 		return fail(err)
+	}
+	// The sink stays nil unless -trace/-metrics asked for telemetry —
+	// the exact disabled path; a telemetered run's artifact is
+	// byte-identical anyway (determinism clause 10).
+	var sink *obs.Sink
+	if *traceFile != "" || *metrics {
+		sink = &obs.Sink{}
+		if *traceFile != "" {
+			sink.Tracer = obs.NewTracer()
+		}
+		if *metrics {
+			sink.Metrics = obs.NewRegistry()
+		}
+	}
+	// emitObs writes the trace file (temp + rename) and the stderr
+	// metrics summary after the run; it must run on the shard early-exit
+	// path too.
+	emitObs := func() error {
+		if sink == nil {
+			return nil
+		}
+		if sink.Tracer != nil {
+			if err := writeTrace(*traceFile, sink.Tracer); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "llcsweep: trace: %d spans -> %s\n", sink.Tracer.Len(), *traceFile)
+		}
+		if sink.Metrics != nil {
+			fmt.Fprintln(stderr, "llcsweep: metrics:")
+			if err := sink.Metrics.WritePrometheus(stderr); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	start := time.Now()
 	var res *sweep.Result
@@ -354,6 +404,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			Log:        ckpt,
 			ShardIndex: shardIdx,
 			ShardCount: shardCnt,
+			Obs:        sink,
 			OnCell: func(ev campaign.Event) {
 				if ev.Skipped {
 					return // summarised once below; grids can have many cells
@@ -371,18 +422,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			if perr := stopProf(); perr != nil {
 				return fail(perr)
 			}
+			if oerr := emitObs(); oerr != nil {
+				return fail(oerr)
+			}
 			fmt.Fprintf(stderr, "llcsweep: shard %d/%d: ran %d and skipped %d of its %d cell(s), wall time %s\n",
 				shardIdx, shardCnt, stats.Ran, stats.Skipped, stats.Cells, time.Since(start).Round(time.Millisecond))
 			return 0
 		}
 	} else {
-		res, err = sweep.Run(ctx, spec, *parallel)
+		res, err = sweep.RunObs(ctx, spec, *parallel, sink)
 	}
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
 	if err != nil {
 		return fail(err)
+	}
+	if oerr := emitObs(); oerr != nil {
+		return fail(oerr)
 	}
 	// Wall time goes to stderr so the artifact stays byte-identical
 	// across runs and worker counts (the determinism contract).
@@ -412,6 +469,30 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	return 0
+}
+
+// writeTrace installs the trace file atomically (temp + rename, the
+// artifact convention) so a crash mid-write never leaves a truncated
+// trace.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	err = f.Chmod(0o644)
+	if err == nil {
+		err = tr.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(f.Name(), path)
+	}
+	if err != nil {
+		os.Remove(f.Name())
+	}
+	return err
 }
 
 // parseShard parses a -shard value "i/N" into (i, N), requiring

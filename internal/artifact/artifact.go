@@ -83,7 +83,16 @@ type Log struct {
 	// DroppedDuplicates counts cell keys discarded at Open because two
 	// verified records claimed them.
 	DroppedDuplicates int
+
+	// appended accumulates the encoded bytes this handle has written via
+	// Append (header + key + payload + checksum), for telemetry.
+	appended int64
 }
+
+// AppendedBytes reports the total encoded bytes this handle has written
+// via Append — on-disk record size, not just payload. Campaign metrics
+// surface it as the artifact-append byte counter.
+func (l *Log) AppendedBytes() int64 { return l.appended }
 
 // Create creates a new log at path (failing if one already exists —
 // resuming an existing log is Open's job) bound to the given spec
@@ -397,12 +406,14 @@ func (l *Log) Append(key string, payload []byte) error {
 	if _, dup := l.index[key]; dup {
 		return fmt.Errorf("artifact: duplicate append for cell %q", key)
 	}
-	if _, err := l.f.Write(encodeRecord(key, payload)); err != nil {
+	rec := encodeRecord(key, payload)
+	if _, err := l.f.Write(rec); err != nil {
 		return fmt.Errorf("artifact: %s: %w", l.path, err)
 	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("artifact: %s: %w", l.path, err)
 	}
+	l.appended += int64(len(rec))
 	cp := append([]byte(nil), payload...)
 	l.index[key] = cp
 	l.order = append(l.order, key)

@@ -1,6 +1,9 @@
 package attack
 
 import (
+	"fmt"
+	"time"
+
 	"repro/internal/clock"
 	"repro/internal/evset"
 	"repro/internal/probe"
@@ -89,14 +92,26 @@ func (s *Session) RunEndToEnd(scanner *psd.Scanner, ex *Extractor, opt E2EOption
 	res.SignalFound = true
 
 	// Step 3: monitor `Traces` signings and extract the nonce bits.
+	// On traced runs each signing emits a cat="probe" span nested (on
+	// the same simulated timeline) inside the scenario's extract phase.
 	m := probe.NewMonitor(s.Env, probe.Parallel, res.Scan.Set.Lines)
+	traced := s.Trace.Enabled()
 	for i := 0; i < opt.Traces; i++ {
+		sigStart := s.H.Clock().Now()
+		var w0 time.Time
+		if traced {
+			w0 = time.Now()
+		}
 		rec := s.TriggerOneSigning()
 		// Capture from just before the request through its end.
 		dur := rec.End - s.H.Clock().Now() + 50_000
 		tr := m.Capture(dur)
 		bits := ex.Extract(tr)
 		sc := ScoreExtraction(bits, rec, ex.IterCycles)
+		if traced {
+			s.Trace.Span(fmt.Sprintf("signing %d", i), "probe",
+				sigStart, s.H.Clock().Now()-sigStart, time.Since(w0), sc.Recovered > 0)
+		}
 		res.Fractions = append(res.Fractions, sc.Fraction())
 		res.ErrorRates = append(res.ErrorRates, sc.ErrorRate())
 		res.BitsTotal += sc.Total

@@ -15,6 +15,7 @@ import (
 	"repro/internal/ec2m"
 	"repro/internal/evset"
 	"repro/internal/hierarchy"
+	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/victim"
 	"repro/internal/xrand"
@@ -40,6 +41,12 @@ type Session struct {
 	lastRequestEnd clock.Cycles
 	// Records accumulates the ground truth of every triggered signing.
 	Records []*victim.SignRecord
+
+	// Trace is the owning trial's span track when the run is traced
+	// (nil otherwise). Attack steps emit cat="probe" sub-spans through
+	// it; like all instrumentation it reads clocks already being read
+	// and never touches a rng stream (determinism clause 10).
+	Trace *obs.TrialTrace
 }
 
 // NewSession builds a host from the config and co-locates an attacker

@@ -43,9 +43,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/artifact"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -132,6 +134,15 @@ type Options struct {
 	// bytes no matter how the ranges were cut or who computed them.
 	// Mutually exclusive with ShardCount.
 	CellStart, CellEnd int
+	// Obs, when non-nil, receives campaign telemetry: cell-terminal
+	// counters (campaign_cells_total by state computed/resumed),
+	// per-cell wall-duration histogram (campaign_cell_seconds),
+	// checkpoint-append bytes (campaign_append_bytes_total), and — on a
+	// traced run — one trace process per cell (PID = Expand index,
+	// named with the cell's coordinates). Instrumentation reads wall
+	// clocks only; the artifact and Result are byte-identical with Obs
+	// set or nil (determinism clause 10).
+	Obs *obs.Sink
 }
 
 // Run executes the spec as a resumable campaign and returns the same
@@ -184,6 +195,26 @@ func Run(ctx context.Context, spec sweep.Spec, opts Options) (*sweep.Result, *St
 		st.DroppedDuplicates = opts.Log.DroppedDuplicates
 	}
 
+	// Observability hooks: resolved once, all nil (hence no-op) when
+	// opts.Obs carries nothing. Only wall clocks are read.
+	var cellsComputed, cellsResumed, appendBytes *obs.Counter
+	var cellSec *obs.Histogram
+	var tracer *obs.Tracer
+	if opts.Obs != nil {
+		tracer = opts.Obs.Tracer
+		if m := opts.Obs.Metrics; m != nil {
+			cellsComputed = m.Counter("campaign_cells_total", "state", "computed")
+			cellsResumed = m.Counter("campaign_cells_total", "state", "resumed")
+			appendBytes = m.Counter("campaign_append_bytes_total")
+			cellSec = m.Histogram("campaign_cell_seconds", nil)
+		}
+		if tracer != nil {
+			for _, ci := range mine {
+				tracer.SetProcessName(ci, cls[ci].Coords())
+			}
+		}
+	}
+
 	samples := make([][]experiments.Sample, len(cls))
 	pending := make([]int, 0, len(mine))
 	var done atomic.Int64
@@ -195,9 +226,16 @@ func Run(ctx context.Context, spec sweep.Spec, opts Options) (*sweep.Result, *St
 		mu.Lock()
 		defer mu.Unlock()
 		if !skipped && opts.Log != nil {
+			before := opts.Log.AppendedBytes()
 			if err := opts.Log.Append(cls[ci].Key, EncodeSamples(samples[ci])); err != nil {
 				return err
 			}
+			appendBytes.Add(opts.Log.AppendedBytes() - before)
+		}
+		if skipped {
+			cellsResumed.Inc()
+		} else {
+			cellsComputed.Inc()
 		}
 		if opts.OnCell != nil {
 			opts.OnCell(Event{
@@ -275,9 +313,16 @@ func Run(ctx context.Context, spec sweep.Spec, opts Options) (*sweep.Result, *St
 				}
 				ci := pending[k]
 				c := &cls[ci]
-				ss, err := experiments.RunTrialsErr(ctx, n, 1, c.Seed, func(t *experiments.Trial) experiments.Sample {
+				var t0 time.Time
+				if cellSec != nil {
+					t0 = time.Now()
+				}
+				ss, err := experiments.RunTrialsObs(ctx, n, 1, c.Seed, opts.Obs.WithPID(ci), func(t *experiments.Trial) experiments.Sample {
 					return c.Exp.Run(t, c.Config)
 				})
+				if cellSec != nil {
+					cellSec.Observe(time.Since(t0).Seconds())
+				}
 				if err != nil {
 					record(ci, err)
 					return

@@ -7,8 +7,10 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/hierarchy"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -50,7 +52,13 @@ type Trial struct {
 	// Seed is xrand.Stream(baseSeed, Index): the only randomness a trial
 	// may consume, directly or via sub-seeds derived from it.
 	Seed uint64
-	pool *hostPool
+	// Trace is the trial's span track when the run is traced
+	// (RunTrialsObs with a Sink.Tracer), nil otherwise. Instrumented
+	// runners call Trace.Span unconditionally — a nil TrialTrace drops
+	// spans at zero cost — and must never let tracing touch a rng
+	// stream or the simulated clock (determinism clause 10).
+	Trace *obs.TrialTrace
+	pool  *hostPool
 }
 
 // WithSeed returns a copy of the trial carrying the given seed and the
@@ -107,7 +115,7 @@ func (p *hostPool) get(cfg hierarchy.Config, seed uint64) *hierarchy.Host {
 // unrecoverable goroutine. Callers that would rather handle the failure
 // use RunTrialsErr.
 func RunTrials(n, workers int, seed uint64, fn func(t *Trial) Sample) []Sample {
-	out, tp, _ := runTrials(context.Background(), n, workers, seed, fn)
+	out, tp, _ := runTrials(context.Background(), n, workers, seed, nil, fn)
 	if tp != nil {
 		// Panic with the typed value (its Error text prints identically)
 		// so a recover() above can still inspect index and cause.
@@ -127,7 +135,19 @@ func RunTrials(n, workers int, seed uint64, fn func(t *Trial) Sample) []Sample {
 // The sweep runner uses the error form so one broken grid cell fails the
 // sweep cleanly.
 func RunTrialsErr(ctx context.Context, n, workers int, seed uint64, fn func(t *Trial) Sample) ([]Sample, error) {
-	out, tp, cancelled := runTrials(ctx, n, workers, seed, fn)
+	return RunTrialsObs(ctx, n, workers, seed, nil, fn)
+}
+
+// RunTrialsObs is RunTrialsErr with an observability sink: when
+// sink.Tracer is set every trial carries a TrialTrace on
+// (sink.TracePID, trial index), and when sink.Metrics is set the
+// engine records per-trial wall durations (engine_trial_seconds) and
+// a trial counter (engine_trials_total). A nil or empty sink is the
+// exact disabled path — instrumentation reads only the host wall
+// clock, never a rng stream or the simulated clock, so samples are
+// byte-identical with the sink on or off (determinism clause 10).
+func RunTrialsObs(ctx context.Context, n, workers int, seed uint64, sink *obs.Sink, fn func(t *Trial) Sample) ([]Sample, error) {
+	out, tp, cancelled := runTrials(ctx, n, workers, seed, sink, fn)
 	if tp != nil {
 		return nil, tp
 	}
@@ -155,7 +175,7 @@ func (p *trialPanic) Error() string {
 // it to name the failing unit of work.
 func (p *trialPanic) TrialIndex() int { return p.index }
 
-func runTrials(ctx context.Context, n, workers int, seed uint64, fn func(t *Trial) Sample) ([]Sample, *trialPanic, bool) {
+func runTrials(ctx context.Context, n, workers int, seed uint64, sink *obs.Sink, fn func(t *Trial) Sample) ([]Sample, *trialPanic, bool) {
 	if n <= 0 {
 		return nil, nil, false
 	}
@@ -164,6 +184,28 @@ func runTrials(ctx context.Context, n, workers int, seed uint64, fn func(t *Tria
 	}
 	if workers > n {
 		workers = n
+	}
+	// Observability hooks: series are resolved once per run, and the
+	// nil-receiver no-ops of internal/obs make the disabled path a
+	// pointer test. Wall-clock reads happen only when metrics are live.
+	var tracer *obs.Tracer
+	var trialSec *obs.Histogram
+	var trialsTotal *obs.Counter
+	tracePID := 0
+	if sink != nil {
+		tracer = sink.Tracer
+		tracePID = sink.TracePID
+		if sink.Metrics != nil {
+			trialSec = sink.Metrics.Histogram("engine_trial_seconds", nil)
+			trialsTotal = sink.Metrics.Counter("engine_trials_total")
+		}
+	}
+	mkTrial := func(i int, pool *hostPool) *Trial {
+		t := &Trial{Index: i, Seed: xrand.Stream(seed, uint64(i)), pool: pool}
+		if tracer != nil {
+			t.Trace = &obs.TrialTrace{Tracer: tracer, PID: tracePID, TID: i}
+		}
+		return t
 	}
 	out := make([]Sample, n)
 	var firstPanic atomic.Pointer[trialPanic]
@@ -190,6 +232,13 @@ func runTrials(ctx context.Context, n, workers int, seed uint64, fn func(t *Tria
 				record(&trialPanic{index: t.Index, value: r, stack: debug.Stack()})
 			}
 		}()
+		if trialSec != nil {
+			t0 := time.Now()
+			defer func() {
+				trialSec.Observe(time.Since(t0).Seconds())
+				trialsTotal.Inc()
+			}()
+		}
 		out[t.Index] = fn(t)
 	}
 	// Cancellation is polled between trials only — never inside one — so
@@ -212,7 +261,7 @@ func runTrials(ctx context.Context, n, workers int, seed uint64, fn func(t *Tria
 			if firstPanic.Load() != nil || interrupted() {
 				break
 			}
-			runOne(&Trial{Index: i, Seed: xrand.Stream(seed, uint64(i)), pool: pool})
+			runOne(mkTrial(i, pool))
 		}
 		return out, firstPanic.Load(), cancelled.Load()
 	}
@@ -228,7 +277,7 @@ func runTrials(ctx context.Context, n, workers int, seed uint64, fn func(t *Tria
 				if i >= n || firstPanic.Load() != nil || interrupted() {
 					return
 				}
-				runOne(&Trial{Index: i, Seed: xrand.Stream(seed, uint64(i)), pool: pool})
+				runOne(mkTrial(i, pool))
 			}
 		}()
 	}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/artifact"
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -36,6 +37,23 @@ type Options struct {
 	// Logf, when non-nil, receives scheduling-event lines (grants,
 	// expiries, reassignments, downloads, duplicates).
 	Logf func(format string, args ...any)
+	// Errorf, when non-nil, receives the operator-critical subset of
+	// events — lease expiries and worker/job failures — which must
+	// surface even when Logf is muted (the llcfleet -q contract). Nil
+	// falls back to Logf.
+	Errorf func(format string, args ...any)
+	// Progressf, when non-nil, receives a periodic progress line (cells
+	// completed, range states, cells/s, ETA) every ProgressEvery.
+	Progressf func(format string, args ...any)
+	// ProgressEvery is the progress-line and telemetry-refresh period
+	// (0 = 10s).
+	ProgressEvery time.Duration
+	// Metrics, when non-nil, receives coordinator telemetry: lease
+	// event counters (fleet_leases_total by event), duplicate
+	// completions, completed cells, per-worker cells/s and the run ETA.
+	// Telemetry is wall-clock bookkeeping only; the merged artifact is
+	// byte-identical with or without it (determinism clause 10).
+	Metrics *obs.Registry
 	// Now is the clock (nil = time.Now); tests inject it to drive lease
 	// expiry without real waiting.
 	Now func() time.Time
@@ -53,8 +71,14 @@ type Stats struct {
 	// Grants counts every lease granted, including re-grants of
 	// reassigned ranges.
 	Grants int
+	// Renewed counts lease renewals (progress demonstrated before the
+	// deadline).
+	Renewed int
 	// Expired counts leases that timed out without completing.
 	Expired int
+	// Superseded counts live leases cut short because another worker
+	// (a zombie whose lease had expired) completed the range first.
+	Superseded int
 	// Duplicates counts ranges completed more than once (an expired
 	// lease's zombie finished after the range was reassigned and
 	// completed elsewhere); their logs merged byte-equal.
@@ -76,6 +100,9 @@ type worker struct {
 	// coolUntil backs a worker off after a failed submit, so a dead
 	// daemon is not hammered every tick with the same range.
 	coolUntil time.Time
+	// cellsDone accumulates the cells of every range this worker
+	// completed (telemetry only).
+	cellsDone int
 }
 
 // zombie is an expired lease's job, still possibly running remotely.
@@ -140,6 +167,17 @@ func Run(ctx context.Context, spec sweep.Spec, dstPath string, opts Options) (*S
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	// Critical events fall back to the scheduling log when no dedicated
+	// error sink is set (so a fully-silent run stays possible only by
+	// muting both — cmd/llcfleet always wires Errorf to stderr).
+	errf := opts.Errorf
+	if errf == nil {
+		errf = logf
+	}
+	progressEvery := opts.ProgressEvery
+	if progressEvery <= 0 {
+		progressEvery = 10 * time.Second
+	}
 	workDir := opts.WorkDir
 	if workDir == "" {
 		workDir, err = os.MkdirTemp("", "llcfleet-*")
@@ -169,6 +207,42 @@ func Run(ctx context.Context, spec sweep.Spec, dstPath string, opts Options) (*S
 	var zombies []*zombie
 	var downloads []download
 
+	// Coordinator telemetry: all no-ops when opts.Metrics is nil (the
+	// obs nil-receiver contract).
+	m := opts.Metrics
+	leasesGranted := m.Counter("fleet_leases_total", "event", "granted")
+	leasesRenewed := m.Counter("fleet_leases_total", "event", "renewed")
+	leasesExpired := m.Counter("fleet_leases_total", "event", "expired")
+	leasesSuperseded := m.Counter("fleet_leases_total", "event", "superseded")
+	dupCompletions := m.Counter("fleet_duplicate_completions_total")
+	cellsCompleted := m.Counter("fleet_cells_completed_total")
+	startWall := now()
+	lastProgress := startWall
+	doneCells := 0
+	progress := func() {
+		elapsed := now().Sub(startWall).Seconds()
+		var rate float64
+		if elapsed > 0 {
+			rate = float64(doneCells) / elapsed
+		}
+		eta := "unknown"
+		if rate > 0 {
+			d := time.Duration(float64(len(cls)-doneCells) / rate * float64(time.Second))
+			eta = d.Round(time.Second).String()
+			m.Gauge("fleet_eta_seconds").Set(d.Seconds())
+		}
+		if m != nil && elapsed > 0 {
+			for _, w := range workers {
+				m.Gauge("fleet_worker_cells_per_second", "worker", w.base).Set(float64(w.cellsDone) / elapsed)
+			}
+		}
+		if opts.Progressf != nil {
+			pend, leased, completed := table.Counts()
+			opts.Progressf("fleet: progress %d/%d cells, ranges %d pending / %d leased / %d done, %.1f cells/s, ETA %s",
+				doneCells, len(cls), pend, leased, completed, rate, eta)
+		}
+	}
+
 	// fetch downloads and verifies a done range's log, completing the
 	// range in the table; dup completions still contribute their file
 	// (the merge dedupes byte-equal records, which is the test that the
@@ -178,14 +252,25 @@ func Run(ctx context.Context, spec sweep.Spec, dstPath string, opts Options) (*S
 		if err := w.client.Download(ctx, jobID, dst, fp, keysOf(r)); err != nil {
 			return err
 		}
+		// A completion while another worker holds a live lease on the
+		// range supersedes that holder (Complete releases the lease).
+		if hl, held := table.Holder(r); held && hl.Worker != w.base {
+			st.Superseded++
+			leasesSuperseded.Inc()
+			logf("fleet: lease on %s held by %s superseded by completion from %s", r, hl.Worker, w.base)
+		}
 		dup, err := table.Complete(r)
 		if err != nil {
 			return err
 		}
+		w.cellsDone += r.End - r.Start
 		if dup {
 			st.Duplicates++
+			dupCompletions.Inc()
 			logf("fleet: duplicate completion of %s by %s (deduped at merge)", r, w.base)
 		} else {
+			doneCells += r.End - r.Start
+			cellsCompleted.Add(int64(r.End - r.Start))
 			logf("fleet: range %s completed by %s", r, w.base)
 		}
 		downloads = append(downloads, download{path: dst, rng: r})
@@ -202,9 +287,10 @@ func Run(ctx context.Context, spec sweep.Spec, dstPath string, opts Options) (*S
 		// to the pool and their jobs become zombies we keep watching.
 		for _, l := range table.ExpireDue(tick) {
 			st.Expired++
+			leasesExpired.Inc()
 			for _, w := range workers {
 				if w.lease != nil && w.lease.Range == l.Range {
-					logf("fleet: lease %s on %s expired; reassigning", l.Range, w.base)
+					errf("fleet: lease %s on %s expired; reassigning", l.Range, w.base)
 					zombies = append(zombies, &zombie{w: w, jobID: w.jobID, rng: l.Range})
 					w.lease, w.jobID = nil, ""
 				}
@@ -235,7 +321,7 @@ func Run(ctx context.Context, spec sweep.Spec, dstPath string, opts Options) (*S
 				}
 				w.lease, w.jobID = nil, ""
 			case "failed", "cancelled", "interrupted":
-				logf("fleet: job %s on %s is %s (%s); releasing %s", w.jobID, w.base, js.State, js.Error, r)
+				errf("fleet: job %s on %s is %s (%s); releasing %s", w.jobID, w.base, js.State, js.Error, r)
 				table.Release(r)
 				w.lease, w.jobID = nil, ""
 				w.coolUntil = tick.Add(timeout)
@@ -243,6 +329,8 @@ func Run(ctx context.Context, spec sweep.Spec, dstPath string, opts Options) (*S
 				if js.Done > w.lastDone {
 					w.lastDone = js.Done
 					table.Renew(r, tick, timeout)
+					st.Renewed++
+					leasesRenewed.Inc()
 				}
 			}
 		}
@@ -287,11 +375,16 @@ func Run(ctx context.Context, spec sweep.Spec, dstPath string, opts Options) (*S
 				continue
 			}
 			st.Grants++
+			leasesGranted.Inc()
 			lease := l
 			w.lease, w.jobID, w.lastDone = &lease, js.ID, js.Done
 			logf("fleet: leased %s to %s (job %s)", l.Range, w.base, js.ID)
 		}
 
+		if tick2 := now(); !tick2.Before(lastProgress.Add(progressEvery)) {
+			progress()
+			lastProgress = tick2
+		}
 		if table.Done() {
 			break
 		}
@@ -302,6 +395,7 @@ func Run(ctx context.Context, spec sweep.Spec, dstPath string, opts Options) (*S
 		}
 	}
 
+	progress()
 	ms, err := mergeDownloads(spec, cls, dstPath, downloads)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sweep"
+)
+
+// lineLog is a concurrency-safe collector for Logf-shaped callbacks.
+type lineLog struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (l *lineLog) printf(format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lines = append(l.lines, fmt.Sprintf(format, args...))
+}
+
+func (l *lineLog) joined() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return strings.Join(l.lines, "\n")
+}
+
+// TestFleetQuietStillReportsExpiry pins the llcfleet -q contract at the
+// package layer: with Logf muted entirely (nil), a lease expiry must
+// still reach Errorf — silence about a dead worker is how fleets strand
+// ranges. The same run checks the coordinator telemetry registry and
+// the periodic progress callback, and that none of it changes the
+// merged artifact (determinism clause 10): the merge is byte-compared
+// against the plain single-process reference as usual.
+func TestFleetQuietStillReportsExpiry(t *testing.T) {
+	spec := sweep.Spec{
+		Experiments: []string{"probe/parallel"},
+		Policies:    []string{"LRU", "QLRU", "SRRIP", "Random"},
+		Trials:      3,
+		Seed:        7,
+	}
+	spec.Normalize()
+	want := refLogBytes(t, spec)
+
+	// Worker A accepts exactly one job — the first range — and wedges it
+	// (running, done_cells frozen), so its lease must expire; it refuses
+	// every later submission. Worker B completes any range instantly.
+	logs := make(map[int][]byte)
+	for start := range 4 {
+		logs[start] = rangeLogBytes(t, spec, start, start+1)
+	}
+	accepted := false
+	a := newStubWorker(t, func(start, end int) *stubJob {
+		if accepted {
+			return nil
+		}
+		accepted = true
+		return &stubJob{js: JobStatus{State: "running", Total: end - start}}
+	})
+	b := newStubWorker(t, func(start, end int) *stubJob {
+		return &stubJob{
+			js:   JobStatus{State: "done", Total: end - start, Done: end - start},
+			body: logs[start],
+		}
+	})
+
+	// Run is called directly (not via runFleet, which injects t.Logf)
+	// so Logf really is nil, exactly like llcfleet -q.
+	var errs, prog lineLog
+	reg := obs.NewRegistry()
+	dst := filepath.Join(t.TempDir(), "merged.cells")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	st, err := Run(ctx, spec, dst, Options{
+		Workers:      []string{a.ts.URL, b.ts.URL},
+		LeaseSize:    1,
+		LeaseTimeout: 150 * time.Millisecond,
+		Poll:         10 * time.Millisecond,
+		Logf:         nil, // -q: routine scheduling lines muted
+		Errorf:       errs.printf,
+		Progressf:    prog.printf,
+		// Sub-poll cadence so even a fast run emits progress lines.
+		ProgressEvery: time.Millisecond,
+		Metrics:       reg,
+	})
+	if err != nil {
+		t.Fatalf("fleet.Run: %v", err)
+	}
+	requireByteIdentical(t, dst, want)
+
+	if st.Expired != 1 {
+		t.Fatalf("wedged worker produced %d lease expiries, want exactly 1", st.Expired)
+	}
+	if got := errs.joined(); !strings.Contains(got, "expired") {
+		t.Fatalf("Errorf never saw the lease expiry with Logf muted; got:\n%s", got)
+	}
+	if got := prog.joined(); !strings.Contains(got, "fleet: progress") {
+		t.Fatalf("Progressf never saw a progress line; got:\n%s", got)
+	}
+
+	snap := reg.Snapshot()
+	counter := func(name, labels string) float64 {
+		t.Helper()
+		for _, s := range snap {
+			if s.Name == name && s.Labels == labels {
+				return s.Value
+			}
+		}
+		t.Fatalf("registry has no series %s{%s}; snapshot: %+v", name, labels, snap)
+		return 0
+	}
+	if got := counter("fleet_leases_total", `{event="expired"}`); got != 1 {
+		t.Fatalf("fleet_leases_total{event=expired} = %v, want 1", got)
+	}
+	if got := counter("fleet_leases_total", `{event="granted"}`); got != float64(st.Grants) {
+		t.Fatalf("fleet_leases_total{event=granted} = %v, want %d (Stats.Grants)", got, st.Grants)
+	}
+	if got := counter("fleet_cells_completed_total", ""); got != 4 {
+		t.Fatalf("fleet_cells_completed_total = %v, want 4", got)
+	}
+}

@@ -1,0 +1,67 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestStartWithContentionProfiles exercises the block/mutex collectors:
+// both files must exist and be non-empty pprof payloads after stop, and
+// the process-global sampling rates must be back at zero so an
+// unprofiled run never pays the sampling cost.
+func TestStartWithContentionProfiles(t *testing.T) {
+	dir := t.TempDir()
+	blockPath := filepath.Join(dir, "block.pprof")
+	mutexPath := filepath.Join(dir, "mutex.pprof")
+	stop, err := StartWith(Config{BlockFile: blockPath, MutexFile: mutexPath})
+	if err != nil {
+		t.Fatalf("StartWith: %v", err)
+	}
+
+	// Generate at least one contended mutex event and one blocking
+	// channel event so the profiles have something to record.
+	var mu sync.Mutex
+	mu.Lock()
+	ch := make(chan struct{})
+	go func() {
+		mu.Lock() // contends until the main goroutine unlocks
+		mu.Unlock()
+		close(ch)
+	}()
+	runtime.Gosched()
+	mu.Unlock()
+	<-ch
+
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for _, p := range []string{blockPath, mutexPath} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	// SetMutexProfileFraction(-1) reads the rate without changing it;
+	// stop must have restored the zero default.
+	if frac := runtime.SetMutexProfileFraction(-1); frac != 0 {
+		t.Fatalf("mutex profile fraction left at %d after stop, want 0", frac)
+	}
+}
+
+// TestStartWithNothingIsFree pins that an all-empty Config starts no
+// collector and that its stop function is a no-op returning nil.
+func TestStartWithNothingIsFree(t *testing.T) {
+	stop, err := StartWith(Config{})
+	if err != nil {
+		t.Fatalf("StartWith: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+}

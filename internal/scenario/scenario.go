@@ -31,6 +31,7 @@ import (
 	"repro/internal/defense"
 	"repro/internal/experiments"
 	"repro/internal/hierarchy"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/tenant"
 )
@@ -245,6 +246,15 @@ func RunTenants(id string, tenants []tenant.Spec, trials, workers int, seed uint
 // context) stops the run between trials and returns the context's
 // error; a completed report never depends on ctx.
 func RunWith(ctx context.Context, id string, tenants []tenant.Spec, def *defense.Spec, trials, workers int, seed uint64) (*Report, error) {
+	return RunWithObs(ctx, id, tenants, def, trials, workers, seed, nil)
+}
+
+// RunWithObs is RunWith with an observability sink (the cmd/llcattack
+// -trace flag): when sink.Tracer is set every trial's pipeline steps
+// land on the trace as cat="phase" spans, and when sink.Metrics is set
+// the engine's trial metrics record. A nil sink is exactly RunWith —
+// the report is byte-identical either way (determinism clause 10).
+func RunWithObs(ctx context.Context, id string, tenants []tenant.Spec, def *defense.Spec, trials, workers int, seed uint64, sink *obs.Sink) (*Report, error) {
 	sc, ok := Lookup(id)
 	if !ok {
 		return nil, fmt.Errorf("scenario: unknown scenario %q (known: %v)", id, IDs())
@@ -262,7 +272,7 @@ func RunWith(ctx context.Context, id string, tenants []tenant.Spec, def *defense
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("scenario: %s: %w", sc.ID, err)
 	}
-	outs, err := RunOn(ctx, sc, cfg, trials, workers, seed)
+	outs, err := RunOnObs(ctx, sc, cfg, trials, workers, seed, sink)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %s: %w", sc.ID, err)
 	}
@@ -284,8 +294,18 @@ func RunWith(ctx context.Context, id string, tenants []tenant.Spec, def *defense
 // writes race-free at any worker count, like the engine's own sample
 // slice.
 func RunOn(ctx context.Context, sc Scenario, cfg hierarchy.Config, trials, workers int, seed uint64) ([]Outcome, error) {
+	return RunOnObs(ctx, sc, cfg, trials, workers, seed, nil)
+}
+
+// RunOnObs is RunOn with an observability sink: trials run under the
+// sink's PID track (named after the scenario on the trace), with the
+// trial index as TID. A nil sink is exactly RunOn.
+func RunOnObs(ctx context.Context, sc Scenario, cfg hierarchy.Config, trials, workers int, seed uint64, sink *obs.Sink) ([]Outcome, error) {
+	if sink != nil && sink.Tracer != nil {
+		sink.Tracer.SetProcessName(sink.TracePID, "scenario "+sc.ID)
+	}
 	outs := make([]Outcome, trials)
-	_, err := experiments.RunTrialsErr(ctx, trials, workers, experiments.SubSeed(seed, "scenario", sc.ID), func(t *experiments.Trial) experiments.Sample {
+	_, err := experiments.RunTrialsObs(ctx, trials, workers, experiments.SubSeed(seed, "scenario", sc.ID), sink, func(t *experiments.Trial) experiments.Sample {
 		o := sc.Run(t, cfg)
 		outs[t.Index] = o
 		return experiments.Sample{OK: o.Success, Value: float64(o.TotalCycles)}

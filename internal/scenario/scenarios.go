@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"math/big"
+	"time"
 
 	"repro/internal/attack"
 	"repro/internal/clock"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/hierarchy"
 	"repro/internal/lattice"
+	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/psd"
 	"repro/internal/tenant"
@@ -193,39 +195,73 @@ type stepTimer struct {
 	start clock.Cycles
 	last  clock.Cycles
 	steps []Step
+	// tr receives one cat="phase" span per marked step when the trial
+	// is traced (nil otherwise); wallLast is the host-time cursor for
+	// each span's wall_us attribution. Tracing reads the same clock
+	// values the steps already record plus the host wall clock — it
+	// feeds nothing back into steps or the simulated clock, so a traced
+	// Outcome is byte-identical to an untraced one (clause 10).
+	tr       *obs.TrialTrace
+	wallLast time.Time
 }
 
-func newStepTimer(h *hierarchy.Host) *stepTimer {
+func newStepTimer(h *hierarchy.Host, tr *obs.TrialTrace) *stepTimer {
 	now := h.Clock().Now()
-	return &stepTimer{h: h, start: now, last: now}
+	st := &stepTimer{h: h, start: now, last: now, tr: tr}
+	if tr.Enabled() {
+		st.wallLast = time.Now()
+	}
+	return st
+}
+
+// emit records one phase span covering the d cycles after st.last and
+// advances the wall cursor. No-op on untraced runs.
+func (st *stepTimer) emit(name string, ok bool, d clock.Cycles) {
+	if !st.tr.Enabled() {
+		return
+	}
+	now := time.Now()
+	st.tr.Span(name, "phase", st.last, d, now.Sub(st.wallLast), ok)
+	st.wallLast = now
 }
 
 // mark closes the current step at the host clock's present reading.
 func (st *stepTimer) mark(name string, ok bool) {
 	now := st.h.Clock().Now()
 	st.steps = append(st.steps, Step{Name: name, OK: ok, Cycles: now - st.last})
+	st.emit(name, ok, now-st.last)
 	st.last = now
 }
 
 // markSpan records a step whose duration was measured by the callee.
 func (st *stepTimer) markSpan(name string, ok bool, d clock.Cycles) {
 	st.steps = append(st.steps, Step{Name: name, OK: ok, Cycles: d})
+	st.emit(name, ok, d)
 	st.last += d
 }
 
 // outcome finalizes the trial with the pipeline's total virtual time.
+// On traced runs, any virtual time the pipeline spent outside a marked
+// step is emitted as an "unattributed" phase span, so the phase spans
+// of a trial always sum exactly to TotalCycles.
 func (st *stepTimer) outcome(success bool) Outcome {
+	now := st.h.Clock().Now()
+	if rem := now - st.last; rem > 0 {
+		st.emit("unattributed", success, rem)
+	}
 	return Outcome{
 		Success:     success,
 		Steps:       st.steps,
-		TotalCycles: st.h.Clock().Now() - st.start,
+		TotalCycles: now - st.start,
 	}
 }
 
 // newSession co-locates an attacker and a sect163 victim on the trial's
 // pooled host.
 func newSession(t *experiments.Trial, cfg hierarchy.Config) *attack.Session {
-	return attack.NewSessionOn(t.Host(cfg, t.Seed), ec2m.Sect163(), t.Seed)
+	s := attack.NewSessionOn(t.Host(cfg, t.Seed), ec2m.Sect163(), t.Seed)
+	s.Trace = t.Trace
+	return s
 }
 
 // train runs the §7.2 controlled training phase on the session's own
@@ -240,7 +276,7 @@ func train(s *attack.Session, seed uint64) (*psd.Scanner, *attack.Extractor) {
 // identified the CORRECT set (privileged check, as in Table 6).
 func runScan(t *experiments.Trial, cfg hierarchy.Config) Outcome {
 	s := newSession(t, cfg)
-	st := newStepTimer(s.H)
+	st := newStepTimer(s.H, t.Trace)
 	scanner, _ := train(s, t.Seed)
 	st.mark("train", scanner != nil)
 	if scanner == nil {
@@ -262,7 +298,7 @@ func runScan(t *experiments.Trial, cfg hierarchy.Config) Outcome {
 // fields carry the exact extraction accounting.
 func runExtract(t *experiments.Trial, cfg hierarchy.Config) Outcome {
 	s := newSession(t, cfg)
-	st := newStepTimer(s.H)
+	st := newStepTimer(s.H, t.Trace)
 	scanner, ex := train(s, t.Seed)
 	st.mark("train", scanner != nil)
 	if scanner == nil {
@@ -302,7 +338,7 @@ func runExtract(t *experiments.Trial, cfg hierarchy.Config) Outcome {
 // scores the result.
 func runKeyRecovery(t *experiments.Trial, cfg hierarchy.Config) Outcome {
 	s := newSession(t, cfg)
-	st := newStepTimer(s.H)
+	st := newStepTimer(s.H, t.Trace)
 	scanner, ex := train(s, t.Seed)
 	st.mark("train", scanner != nil)
 	if scanner == nil {
@@ -395,7 +431,10 @@ func runCovert(t *experiments.Trial, cfg hierarchy.Config) Outcome {
 	}
 	// CovertSetup obtained the pooled host freshly reset (clock zero), so
 	// a zero-started timer charges the whole setup to the build step.
-	st := &stepTimer{h: e.Host()}
+	st := &stepTimer{h: e.Host(), tr: t.Trace}
+	if st.tr.Enabled() {
+		st.wallLast = time.Now()
+	}
 	st.mark("build", true)
 	m := probe.NewMonitor(e, probe.Parallel, lines).WithAlt(alt)
 	cres := probe.RunCovertChannel(e, m, 2, sender, interval, sends)

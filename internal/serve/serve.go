@@ -16,7 +16,8 @@
 //	GET  /api/v1/jobs/{id}/artifact the job's raw .cells checkpoint log (done jobs only)
 //	GET  /api/v1/jobs/{id}/events   ndjson stream of per-cell completions: backlog, then live
 //	POST /api/v1/jobs/{id}/cancel   stop a queued or running job at the next trial boundary
-//	GET  /healthz                   liveness probe
+//	GET  /healthz                   liveness probe (JSON: status, uptime_s, jobs_running, queue_depth)
+//	GET  /metrics                   Prometheus text telemetry (queue depth, jobs by state, cells/s, ...)
 //
 // A full-grid job's ID is the spec's campaign fingerprint (16 hex
 // digits); a range job's ID is the fingerprint plus its half-open cell
@@ -41,7 +42,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -54,6 +54,7 @@ import (
 
 	"repro/internal/artifact"
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -136,7 +137,21 @@ type Server struct {
 
 	ctx     context.Context // Start's context; event streams terminate when it dies
 	stopped chan struct{}   // closed when every runner has exited
+
+	// metrics is the daemon's telemetry registry, served by GET /metrics
+	// and fed by the campaign layer of every job it runs. Telemetry is
+	// wall-clock only and never touches job artifacts (determinism
+	// clause 10).
+	metrics      *obs.Registry
+	started      time.Time
+	cellsDone    *obs.Counter // campaign_cells_total{state="computed"}
+	gcReaped     *obs.Counter
+	eventClients *obs.Gauge
 }
+
+// Metrics returns the daemon's telemetry registry (live; scrape with
+// WritePrometheus or the /metrics endpoint).
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
 // New loads the data directory's jobs: a full-grid spec with a result
 // is done, a range job whose checkpoint log verifiably covers its
@@ -160,8 +175,13 @@ func New(dataDir string, opts Options) (*Server, error) {
 		retainCount: opts.RetainCount,
 		jobs:        make(map[string]*job),
 		stopped:     make(chan struct{}),
+		metrics:     obs.NewRegistry(),
+		started:     time.Now(),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.cellsDone = s.metrics.Counter("campaign_cells_total", "state", "computed")
+	s.gcReaped = s.metrics.Counter("llcserve_gc_reaped_total")
+	s.eventClients = s.metrics.Gauge("llcserve_event_clients")
 	specs, err := filepath.Glob(filepath.Join(dataDir, "*.spec.json"))
 	if err != nil {
 		return nil, err
@@ -396,6 +416,7 @@ func (s *Server) gc() {
 				fmt.Fprintf(os.Stderr, "llcserve: retention: %v\n", err)
 			}
 		}
+		s.gcReaped.Inc()
 		fmt.Fprintf(os.Stderr, "llcserve: retention: reaped done job %s (finished %s)\n",
 			j.ID, j.doneAt.Format(time.RFC3339))
 	}
@@ -433,6 +454,7 @@ func (s *Server) runJob(ctx context.Context, id string) {
 		res, _, err = campaign.Run(jctx, j.Spec, campaign.Options{
 			Workers:   s.workers,
 			Log:       ckpt,
+			Obs:       &obs.Sink{Metrics: s.metrics},
 			CellStart: j.CellStart,
 			CellEnd:   j.CellEnd,
 			OnCell: func(ev campaign.Event) {
@@ -499,9 +521,8 @@ func writeResult(path string, res *sweep.Result) error {
 // Handler returns the daemon's HTTP API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		io.WriteString(w, "ok\n")
-	})
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /metrics", s.serveMetrics)
 	mux.HandleFunc("POST /api/v1/jobs", s.submit)
 	mux.HandleFunc("GET /api/v1/jobs", s.list)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.status)
@@ -510,6 +531,60 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.events)
 	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.cancelJob)
 	return mux
+}
+
+// Health is the /healthz liveness document.
+type Health struct {
+	Status      string  `json:"status"`
+	UptimeS     float64 `json:"uptime_s"`
+	JobsRunning int     `json:"jobs_running"`
+	QueueDepth  int     `json:"queue_depth"`
+}
+
+// healthz reports liveness plus the two numbers an operator checks
+// first: how much is queued and how much is running.
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	running := 0
+	for _, j := range s.jobs {
+		if j.State == stateRunning {
+			running++
+		}
+	}
+	depth := len(s.queue)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, Health{
+		Status:      "ok",
+		UptimeS:     time.Since(s.started).Seconds(),
+		JobsRunning: running,
+		QueueDepth:  depth,
+	})
+}
+
+// serveMetrics renders the telemetry registry as Prometheus text
+// (format 0.0.4). Point-in-time gauges — queue depth, jobs by state,
+// uptime, overall cells/s — are refreshed at scrape time; counters and
+// histograms accumulate as jobs run.
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	depth := len(s.queue)
+	byState := make(map[jobState]int)
+	for _, j := range s.jobs {
+		byState[j.State]++
+	}
+	s.mu.Unlock()
+	m := s.metrics
+	m.Gauge("llcserve_queue_depth").Set(float64(depth))
+	for _, st := range []jobState{stateQueued, stateRunning, stateDone, stateFailed, stateCancelled, stateInterrupted} {
+		m.Gauge("llcserve_jobs", "state", string(st)).Set(float64(byState[st]))
+	}
+	up := time.Since(s.started).Seconds()
+	m.Gauge("llcserve_uptime_seconds").Set(up)
+	if up > 0 {
+		m.Gauge("llcserve_cells_per_second").Set(float64(s.cellsDone.Value()) / up)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m.WritePrometheus(w)
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -706,6 +781,8 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	s.eventClients.Add(1)
+	defer s.eventClients.Add(-1)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	// A client disconnect only surfaces as a write error; wake the cond

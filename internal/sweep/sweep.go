@@ -39,6 +39,7 @@ import (
 	"repro/internal/defense"
 	"repro/internal/experiments"
 	"repro/internal/hierarchy"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/tenant"
 	"repro/internal/xrand"
@@ -391,17 +392,41 @@ func cellKey(labels []any) string {
 // persists nothing (the resumable path is internal/campaign.Run, which
 // produces the identical Result).
 func Run(ctx context.Context, spec Spec, workers int) (*Result, error) {
+	return RunObs(ctx, spec, workers, nil)
+}
+
+// RunObs is Run with an observability sink (the cmd/llcsweep -trace
+// flag): on a traced run each grid cell becomes one trace process
+// (PID = cell index, named with the cell's coordinates) whose trials
+// are its threads, and metrics record the engine's per-trial series.
+// A nil sink is exactly Run — the Result is byte-identical either way
+// (determinism clause 10).
+func RunObs(ctx context.Context, spec Spec, workers int, sink *obs.Sink) (*Result, error) {
 	spec.Normalize()
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	cls := Expand(spec)
 	n := spec.Trials
-	samples, err := experiments.RunTrialsErr(ctx, len(cls)*n, workers, spec.Seed, func(t *experiments.Trial) experiments.Sample {
+	var tracer *obs.Tracer
+	if sink != nil && sink.Tracer != nil {
+		tracer = sink.Tracer
+		for ci := range cls {
+			tracer.SetProcessName(ci, cls[ci].Coords())
+		}
+	}
+	samples, err := experiments.RunTrialsObs(ctx, len(cls)*n, workers, spec.Seed, sink, func(t *experiments.Trial) experiments.Sample {
 		c := cls[t.Index/n]
 		// The trial's seed comes from the cell's own stream, not the flat
 		// grid index, so cells are stable across grid reshapes.
-		return c.Exp.Run(t.WithSeed(xrand.Stream(c.Seed, uint64(t.Index%n))), c.Config)
+		t2 := t.WithSeed(xrand.Stream(c.Seed, uint64(t.Index%n)))
+		if tracer != nil {
+			// Re-root the trial's track on its grid cell: PID = cell
+			// index, TID = trial within the cell (the engine's default
+			// track is the flat index, meaningless in a grid).
+			t2.Trace = &obs.TrialTrace{Tracer: tracer, PID: t.Index / n, TID: t.Index % n}
+		}
+		return c.Exp.Run(t2, c.Config)
 	})
 	if err != nil {
 		// Name the failing grid cell, not just the flat trial index: the

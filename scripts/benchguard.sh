@@ -43,7 +43,7 @@ BASELINE=BENCH_seed.json
 # Hot-path allowlist for --gate: the end-to-end attack benchmark plus the
 # per-access microbenchmarks its hot path is made of. Keep this list in
 # sync with the "Hot path" section of ARCHITECTURE.md.
-GATE_PATTERN='^(BenchmarkE2E_FullAttack|BenchmarkMicro_HierarchyAccess|BenchmarkMicro_HostReset|BenchmarkMicro_GF2m571Mul|BenchmarkMicro_LadderSign163|BenchmarkTenant_Burst|BenchmarkTenant_Stream|BenchmarkTenant_Churn|BenchmarkDefense_Partition|BenchmarkDefense_Randomize)$'
+GATE_PATTERN='^(BenchmarkE2E_FullAttack|BenchmarkMicro_HierarchyAccess|BenchmarkMicro_HostReset|BenchmarkMicro_GF2m571Mul|BenchmarkMicro_LadderSign163|BenchmarkTenant_Burst|BenchmarkTenant_Stream|BenchmarkTenant_Churn|BenchmarkDefense_Partition|BenchmarkDefense_Randomize|BenchmarkObs_DisabledHooks)$'
 
 MODE="${1:-}"
 BENCH_RE='.'

@@ -52,7 +52,7 @@ done
 # Exported-symbol doc audit for the declarative model registries:
 # every top-level exported declaration must be immediately preceded by
 # a comment line.
-for f in internal/tenant/*.go internal/defense/*.go internal/specstr/*.go internal/cache/model/*.go internal/artifact/*.go internal/campaign/*.go internal/fleet/*.go; do
+for f in internal/tenant/*.go internal/defense/*.go internal/specstr/*.go internal/cache/model/*.go internal/artifact/*.go internal/campaign/*.go internal/fleet/*.go internal/obs/*.go; do
     case "$f" in *_test.go) continue ;; esac
     awk -v file="$f" '
         # Top-level exported funcs/types/vars/consts, and exported
